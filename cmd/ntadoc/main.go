@@ -1,0 +1,311 @@
+// Command ntadoc compresses text with TADOC and runs N-TADOC analytics on
+// the compressed archive without decompression.
+//
+//	ntadoc compress -o corpus.tdc doc1.txt doc2.txt ...
+//	ntadoc stats corpus.tdc
+//	ntadoc analyze -task wordcount -top 20 corpus.tdc
+//	ntadoc analyze -task seqcount -medium dram corpus.tdc
+//	ntadoc decompress -dir out/ corpus.tdc
+//	ntadoc inspect -dot corpus.tdc > dag.dot
+//
+// Tasks: wordcount, sort, termvector, invertedindex, seqcount, rankedindex.
+// Media: nvm (default, simulated persistent memory), dram (original TADOC),
+// ssd, hdd.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/text-analytics/ntadoc"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "compress":
+		err = cmdCompress(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "decompress":
+		err = cmdDecompress(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ntadoc:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ntadoc <compress|stats|analyze|decompress|inspect> [flags] ...")
+	os.Exit(2)
+}
+
+func cmdCompress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	out := fs.String("o", "corpus.tdc", "output archive path")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("compress: no input files")
+	}
+	docs := make([]ntadoc.Document, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		docs = append(docs, ntadoc.Document{Name: filepath.Base(path), Text: string(data)})
+	}
+	a, err := ntadoc.Compress(docs)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := a.WriteTo(f)
+	if err != nil {
+		return err
+	}
+	st := a.Stats()
+	fmt.Printf("compressed %d documents: %d tokens -> %d grammar symbols (%.1f%%), %d rules, archive %d bytes\n",
+		st.Documents, st.Tokens, st.GrammarSymbols, st.CompressionRate*100, st.Rules, n)
+	return f.Sync()
+}
+
+func loadArchive(path string) (*ntadoc.Archive, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ntadoc.ReadArchive(f)
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("stats: expected one archive path")
+	}
+	a, err := loadArchive(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	st := a.Stats()
+	fmt.Printf("documents:        %d\n", st.Documents)
+	fmt.Printf("rules:            %d\n", st.Rules)
+	fmt.Printf("vocabulary:       %d\n", st.Vocabulary)
+	fmt.Printf("tokens:           %d\n", st.Tokens)
+	fmt.Printf("grammar symbols:  %d\n", st.GrammarSymbols)
+	fmt.Printf("compression rate: %.1f%%\n", st.CompressionRate*100)
+	return nil
+}
+
+func mediumFromFlag(name string) (ntadoc.Medium, error) {
+	switch name {
+	case "nvm":
+		return ntadoc.MediumNVM, nil
+	case "dram":
+		return ntadoc.MediumDRAM, nil
+	case "ssd":
+		return ntadoc.MediumSSD, nil
+	case "hdd":
+		return ntadoc.MediumHDD, nil
+	default:
+		return 0, fmt.Errorf("unknown medium %q", name)
+	}
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	task := fs.String("task", "wordcount", "wordcount|sort|termvector|invertedindex|seqcount|rankedindex")
+	medium := fs.String("medium", "nvm", "nvm|dram|ssd|hdd")
+	top := fs.Int("top", 20, "print at most this many result lines (0 = all)")
+	pool := fs.String("pool", "", "file-backed NVM pool path (persists across runs)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("analyze: expected one archive path")
+	}
+	a, err := loadArchive(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	m, err := mediumFromFlag(*medium)
+	if err != nil {
+		return err
+	}
+	seq := *task == "seqcount" || *task == "rankedindex"
+	eng, err := ntadoc.NewEngine(a, ntadoc.Options{
+		Medium:      m,
+		PoolPath:    *pool,
+		NoSequences: !seq,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	limit := func(n int) int {
+		if *top > 0 && n > *top {
+			return *top
+		}
+		return n
+	}
+
+	switch *task {
+	case "wordcount":
+		counts, err := eng.TopTerms(*top)
+		if err != nil {
+			return err
+		}
+		for _, tc := range counts {
+			fmt.Printf("%10d  %s\n", tc.Count, tc.Term)
+		}
+	case "sort":
+		terms, err := eng.Sort()
+		if err != nil {
+			return err
+		}
+		for _, tc := range terms[:limit(len(terms))] {
+			fmt.Printf("%-24s %d\n", tc.Term, tc.Count)
+		}
+	case "termvector":
+		vecs, err := eng.TermVectors(*top)
+		if err != nil {
+			return err
+		}
+		names := a.DocumentNames()
+		for i, vec := range vecs {
+			fmt.Printf("%s:", names[i])
+			for _, tc := range vec {
+				fmt.Printf(" %s(%d)", tc.Term, tc.Count)
+			}
+			fmt.Println()
+		}
+	case "invertedindex":
+		inv, err := eng.InvertedIndex()
+		if err != nil {
+			return err
+		}
+		words := make([]string, 0, len(inv))
+		for w := range inv {
+			words = append(words, w)
+		}
+		sort.Strings(words)
+		for _, w := range words[:limit(len(words))] {
+			fmt.Printf("%-24s %v\n", w, inv[w])
+		}
+	case "seqcount":
+		sc, err := eng.SequenceCount()
+		if err != nil {
+			return err
+		}
+		type row struct {
+			seq string
+			n   uint64
+		}
+		rows := make([]row, 0, len(sc))
+		for q, n := range sc {
+			rows = append(rows, row{q, n})
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].n != rows[j].n {
+				return rows[i].n > rows[j].n
+			}
+			return rows[i].seq < rows[j].seq
+		})
+		for _, r := range rows[:limit(len(rows))] {
+			fmt.Printf("%10d  %s\n", r.n, r.seq)
+		}
+	case "rankedindex":
+		rii, err := eng.RankedInvertedIndex()
+		if err != nil {
+			return err
+		}
+		seqs := make([]string, 0, len(rii))
+		for q := range rii {
+			seqs = append(seqs, q)
+		}
+		sort.Strings(seqs)
+		for _, q := range seqs[:limit(len(seqs))] {
+			fmt.Printf("%-36s", q)
+			for _, dc := range rii[q] {
+				fmt.Printf(" %s(%d)", dc.Doc, dc.Count)
+			}
+			fmt.Println()
+		}
+	default:
+		return fmt.Errorf("unknown task %q", *task)
+	}
+
+	init, trav := eng.PhaseTimes()
+	if init > 0 {
+		dev, dram := eng.MemoryFootprint()
+		fmt.Fprintf(os.Stderr, "phases: init %v, traversal %v; footprint: %d device bytes, %d DRAM bytes\n",
+			init, trav, dev, dram)
+	}
+	return nil
+}
+
+func cmdDecompress(args []string) error {
+	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
+	dir := fs.String("dir", ".", "output directory")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("decompress: expected one archive path")
+	}
+	a, err := loadArchive(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	for _, doc := range a.Decompress() {
+		name := doc.Name
+		if name == "" {
+			name = "doc.txt"
+		}
+		path := filepath.Join(*dir, filepath.Base(name))
+		if err := os.WriteFile(path, []byte(doc.Text), 0o644); err != nil {
+			return err
+		}
+		fmt.Println(path)
+	}
+	return nil
+}
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	dot := fs.Bool("dot", false, "emit the grammar DAG in Graphviz DOT format")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("inspect: expected one archive path")
+	}
+	a, err := loadArchive(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *dot {
+		return a.WriteDOT(os.Stdout)
+	}
+	st := a.Stats()
+	fmt.Printf("%d rules over %d documents; %d grammar symbols for %d tokens\n",
+		st.Rules, st.Documents, st.GrammarSymbols, st.Tokens)
+	return nil
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The subcommands are plain functions over flags, so the CLI is testable
+// without exec: drive the full compress -> stats -> analyze -> inspect ->
+// decompress flow on the repository's testdata corpora.
+
+func testdataPaths(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob("../../testdata/*.txt")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("testdata: %v (%d)", err, len(paths))
+	}
+	return paths
+}
+
+// capture redirects os.Stdout around fn.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errCh := make(chan error, 1)
+	outCh := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 1<<20)
+		var out []byte
+		for {
+			n, err := r.Read(buf)
+			out = append(out, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		outCh <- string(out)
+	}()
+	errCh <- fn()
+	w.Close()
+	os.Stdout = old
+	if err := <-errCh; err != nil {
+		t.Fatalf("command failed: %v", err)
+	}
+	return <-outCh
+}
+
+func TestCLIFullFlow(t *testing.T) {
+	dir := t.TempDir()
+	archive := filepath.Join(dir, "corpus.tdc")
+
+	// compress
+	out := capture(t, func() error {
+		return cmdCompress(append([]string{"-o", archive}, testdataPaths(t)...))
+	})
+	if !strings.Contains(out, "compressed 3 documents") {
+		t.Errorf("compress output: %q", out)
+	}
+	if _, err := os.Stat(archive); err != nil {
+		t.Fatalf("archive not written: %v", err)
+	}
+
+	// stats
+	out = capture(t, func() error { return cmdStats([]string{archive}) })
+	if !strings.Contains(out, "documents:        3") || !strings.Contains(out, "rules:") {
+		t.Errorf("stats output: %q", out)
+	}
+
+	// analyze: every task on the DRAM engine (fast) plus word count on NVM.
+	for _, task := range []string{"wordcount", "sort", "termvector", "invertedindex", "seqcount", "rankedindex"} {
+		out = capture(t, func() error {
+			return cmdAnalyze([]string{"-task", task, "-medium", "dram", "-top", "5", archive})
+		})
+		if strings.TrimSpace(out) == "" {
+			t.Errorf("task %s produced no output", task)
+		}
+	}
+	out = capture(t, func() error {
+		return cmdAnalyze([]string{"-task", "wordcount", "-top", "3", archive})
+	})
+	if !strings.Contains(out, "the") {
+		t.Errorf("NVM wordcount output: %q", out)
+	}
+
+	// inspect -dot
+	out = capture(t, func() error { return cmdInspect([]string{"-dot", archive}) })
+	if !strings.HasPrefix(out, "digraph tadoc {") {
+		t.Errorf("inspect -dot output: %.60q", out)
+	}
+	out = capture(t, func() error { return cmdInspect([]string{archive}) })
+	if !strings.Contains(out, "rules over 3 documents") {
+		t.Errorf("inspect output: %q", out)
+	}
+
+	// decompress
+	outDir := filepath.Join(dir, "out")
+	capture(t, func() error { return cmdDecompress([]string{"-dir", outDir, archive}) })
+	entries, err := os.ReadDir(outDir)
+	if err != nil || len(entries) != 3 {
+		t.Fatalf("decompressed %d files, err %v", len(entries), err)
+	}
+	data, err := os.ReadFile(filepath.Join(outDir, "carroll.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "white rabbit") {
+		t.Errorf("decompressed content lost: %.80q", data)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if err := cmdCompress([]string{"-o", "/dev/null"}); err == nil {
+		t.Error("compress with no inputs should fail")
+	}
+	if err := cmdStats([]string{"/nonexistent.tdc"}); err == nil {
+		t.Error("stats on missing archive should fail")
+	}
+	if err := cmdAnalyze([]string{"-task", "bogus", "/nonexistent.tdc"}); err == nil {
+		t.Error("analyze on missing archive should fail")
+	}
+	if _, err := mediumFromFlag("floppy"); err == nil {
+		t.Error("unknown medium should fail")
+	}
+	for name, want := range map[string]any{"nvm": nil, "dram": nil, "ssd": nil, "hdd": nil} {
+		if _, err := mediumFromFlag(name); err != nil {
+			t.Errorf("medium %s: %v (%v)", name, err, want)
+		}
+	}
+}

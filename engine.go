@@ -1,0 +1,267 @@
+package ntadoc
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/text-analytics/ntadoc/internal/analytics"
+	"github.com/text-analytics/ntadoc/internal/core"
+	"github.com/text-analytics/ntadoc/internal/nvm"
+	"github.com/text-analytics/ntadoc/internal/tadoc"
+)
+
+// Medium selects the simulated storage the compressed data lives on.
+type Medium int
+
+// Supported media.  NVM is the system's target; SSD and HDD reproduce the
+// paper's Figure 7 comparison points; DRAM runs the original TADOC engine
+// (the paper's theoretical upper bound) with no device simulation.
+const (
+	MediumNVM Medium = iota
+	MediumDRAM
+	MediumSSD
+	MediumHDD
+)
+
+// Persistence selects the paper's §IV-E persistence strategy.
+type Persistence int
+
+// Persistence strategies.
+const (
+	// PhaseLevel persists at phase boundaries (cheap; recovery restarts
+	// the interrupted phase).
+	PhaseLevel Persistence = iota
+	// OperationLevel additionally redo-logs every counter mutation with a
+	// per-operation fence (write-amplified; recovery replays the log).
+	OperationLevel
+)
+
+// Options configures an analytics engine.
+type Options struct {
+	// Medium is the storage the compressed data lives on (default NVM).
+	Medium Medium
+	// Persistence selects the persistence strategy (N-TADOC media only).
+	Persistence Persistence
+	// PoolPath makes the NVM pool file-backed, surviving process restarts.
+	PoolPath string
+	// NoSequences skips the sequence-analytics preprocessing (head/tail
+	// structures, per-rule n-gram tables) at engine construction.  It makes
+	// construction substantially cheaper; SequenceCount and
+	// RankedInvertedIndex then return an error.
+	NoSequences bool
+}
+
+// TermCount is a word with its frequency.
+type TermCount struct {
+	Term  string
+	Count uint64
+}
+
+// DocCount is a document with an occurrence count.
+type DocCount struct {
+	Doc   string
+	Count uint64
+}
+
+// Engine runs the six analytics tasks over an archive.  Engines built on
+// MediumNVM/SSD/HDD are N-TADOC instances over a simulated persistent
+// device; MediumDRAM is the original TADOC baseline.
+type Engine struct {
+	a     *Archive
+	inner analytics.Engine
+	nt    *core.Engine // non-nil on N-TADOC media
+	names []string
+}
+
+// NewEngine builds an engine for the archive.
+func NewEngine(a *Archive, opts Options) (*Engine, error) {
+	e := &Engine{a: a, names: a.DocumentNames()}
+	if opts.Medium == MediumDRAM {
+		inner, err := tadoc.New(a.g, a.d, tadoc.Auto)
+		if err != nil {
+			return nil, err
+		}
+		e.inner = inner
+		return e, nil
+	}
+	kind := nvm.KindNVM
+	switch opts.Medium {
+	case MediumSSD:
+		kind = nvm.KindSSD
+	case MediumHDD:
+		kind = nvm.KindHDD
+	}
+	persistence := core.PhaseLevel
+	if opts.Persistence == OperationLevel {
+		persistence = core.OpLevel
+	}
+	nt, err := core.New(a.g, a.d, core.Options{
+		Kind:        kind,
+		Path:        opts.PoolPath,
+		Persistence: persistence,
+		Sequences:   !opts.NoSequences,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.inner = nt
+	e.nt = nt
+	return e, nil
+}
+
+// Close releases the engine's simulated device (no-op for DRAM engines).
+func (e *Engine) Close() error {
+	if e.nt != nil {
+		return e.nt.Close()
+	}
+	return nil
+}
+
+// WordCount returns the total occurrences of each word across the archive.
+func (e *Engine) WordCount() (map[string]uint64, error) {
+	counts, err := e.inner.WordCount()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]uint64, len(counts))
+	for id, c := range counts {
+		out[e.a.d.Word(id)] = c
+	}
+	return out, nil
+}
+
+// Sort returns the distinct words with counts in alphabetical order.
+func (e *Engine) Sort() ([]TermCount, error) {
+	wf, err := e.inner.Sort()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TermCount, len(wf))
+	for i, w := range wf {
+		out[i] = TermCount{Term: e.a.d.Word(w.Word), Count: w.Freq}
+	}
+	return out, nil
+}
+
+// TermVectors returns each document's words by descending frequency,
+// truncated to k entries when k > 0.
+func (e *Engine) TermVectors(k int) ([][]TermCount, error) {
+	tv, err := e.inner.TermVector(k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]TermCount, len(tv))
+	for i, vec := range tv {
+		row := make([]TermCount, len(vec))
+		for j, w := range vec {
+			row[j] = TermCount{Term: e.a.d.Word(w.Word), Count: w.Freq}
+		}
+		out[i] = row
+	}
+	return out, nil
+}
+
+// InvertedIndex maps each word to the names of the documents containing it,
+// in document order.
+func (e *Engine) InvertedIndex() (map[string][]string, error) {
+	inv, err := e.inner.InvertedIndex()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]string, len(inv))
+	for id, docs := range inv {
+		names := make([]string, len(docs))
+		for i, doc := range docs {
+			names[i] = e.names[doc]
+		}
+		out[e.a.d.Word(id)] = names
+	}
+	return out, nil
+}
+
+// SequenceCount returns the occurrences of each three-word sequence, keyed
+// by the space-joined words.
+func (e *Engine) SequenceCount() (map[string]uint64, error) {
+	sc, err := e.inner.SequenceCount()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]uint64, len(sc))
+	for q, c := range sc {
+		out[e.seqKey(q)] = c
+	}
+	return out, nil
+}
+
+// RankedInvertedIndex maps each three-word sequence to its documents in
+// decreasing order of occurrence.
+func (e *Engine) RankedInvertedIndex() (map[string][]DocCount, error) {
+	rii, err := e.inner.RankedInvertedIndex()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]DocCount, len(rii))
+	for q, postings := range rii {
+		row := make([]DocCount, len(postings))
+		for i, p := range postings {
+			row[i] = DocCount{Doc: e.names[p.Doc], Count: p.Freq}
+		}
+		out[e.seqKey(q)] = row
+	}
+	return out, nil
+}
+
+func (e *Engine) seqKey(q analytics.Seq) string {
+	words := make([]string, len(q))
+	for i, id := range q {
+		words[i] = e.a.d.Word(id)
+	}
+	return strings.Join(words, " ")
+}
+
+// TopTerms is a convenience: the n most frequent words across the archive,
+// ties broken alphabetically.
+func (e *Engine) TopTerms(n int) ([]TermCount, error) {
+	counts, err := e.WordCount()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TermCount, 0, len(counts))
+	for t, c := range counts {
+		out = append(out, TermCount{Term: t, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Term < out[j].Term
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out, nil
+}
+
+// PhaseTimes reports the modeled initialization and graph-traversal times of
+// the last task (N-TADOC engines only; zero for DRAM engines).
+func (e *Engine) PhaseTimes() (init, traversal time.Duration) {
+	if e.nt == nil {
+		return 0, 0
+	}
+	init = e.nt.InitSpan().Total()
+	traversal = e.nt.LastTraversalSpan().Total()
+	return init, traversal
+}
+
+// MemoryFootprint reports the engine's storage residency: pool bytes on the
+// simulated device and estimated DRAM bytes.
+func (e *Engine) MemoryFootprint() (deviceBytes, dramBytes int64) {
+	if e.nt != nil {
+		return e.nt.NVMBytes(), e.nt.DRAMBytes()
+	}
+	if t, ok := e.inner.(*tadoc.Engine); ok {
+		return 0, t.DRAMBytes()
+	}
+	return 0, 0
+}

@@ -1,0 +1,73 @@
+// Quickstart: compress a handful of documents and run word count on the
+// compressed archive — first on simulated NVM (N-TADOC), then on DRAM
+// (original TADOC) — without ever decompressing.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/text-analytics/ntadoc"
+)
+
+func main() {
+	docs := []ntadoc.Document{
+		{Name: "haiku1.txt", Text: "an old silent pond a frog jumps into the pond splash silence again"},
+		{Name: "haiku2.txt", Text: "the light of a candle is transferred to another candle spring twilight"},
+		{Name: "haiku3.txt", Text: "over the wintry forest winds howl in rage with no leaves to blow"},
+		{Name: "haiku4.txt", Text: "an old silent pond a frog jumps into the pond again and again"},
+	}
+
+	archive, err := ntadoc.Compress(docs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := archive.Stats()
+	fmt.Printf("compressed %d documents: %d tokens -> %d grammar symbols (%d rules)\n",
+		st.Documents, st.Tokens, st.GrammarSymbols, st.Rules)
+
+	// Analytics directly on the compressed form, resident on simulated NVM.
+	eng, err := ntadoc.NewEngine(archive, ntadoc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	top, err := eng.TopTerms(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop words (N-TADOC on NVM):")
+	for _, tc := range top {
+		fmt.Printf("  %-10s %d\n", tc.Term, tc.Count)
+	}
+
+	seqs, err := eng.SequenceCount()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nrepeated three-word sequences:")
+	for q, n := range seqs {
+		if n > 1 {
+			fmt.Printf("  %q x%d\n", q, n)
+		}
+	}
+
+	init, trav := eng.PhaseTimes()
+	dev, dram := eng.MemoryFootprint()
+	fmt.Printf("\nmodeled phases: init %v, traversal %v\n", init, trav)
+	fmt.Printf("residency: %d bytes on NVM, ~%d bytes DRAM\n", dev, dram)
+
+	// The same API runs the original TADOC on DRAM for comparison.
+	dramEng, err := ntadoc.NewEngine(archive, ntadoc.Options{Medium: ntadoc.MediumDRAM})
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts, err := dramEng.WordCount()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDRAM TADOC agrees: 'pond' appears %d times\n", counts["pond"])
+}

@@ -1,0 +1,3 @@
+module github.com/text-analytics/ntadoc
+
+go 1.22

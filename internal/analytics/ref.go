@@ -1,0 +1,150 @@
+package analytics
+
+import (
+	"sort"
+
+	"github.com/text-analytics/ntadoc/internal/dict"
+)
+
+// This file holds the ground-truth reference implementations: direct scans
+// over raw per-file token streams.  Every engine's output is cross-checked
+// against these in the integration tests, and the uncompressed baseline
+// engine mirrors their logic over device-resident tokens.
+
+// RefWordCount counts every word across all files.
+func RefWordCount(files [][]uint32) map[uint32]uint64 {
+	out := make(map[uint32]uint64)
+	for _, f := range files {
+		for _, w := range f {
+			out[w]++
+		}
+	}
+	return out
+}
+
+// RefSort returns the distinct words with counts, alphabetized by their
+// dictionary strings — the paper's sort benchmark output.
+func RefSort(files [][]uint32, d *dict.Dictionary) []WordFreq {
+	counts := RefWordCount(files)
+	out := make([]WordFreq, 0, len(counts))
+	for w, c := range counts {
+		out = append(out, WordFreq{Word: w, Freq: c})
+	}
+	SortAlphabetical(out, d)
+	return out
+}
+
+// SortAlphabetical orders (word, freq) pairs by the word strings, the final
+// step shared by every engine's sort task.
+func SortAlphabetical(wf []WordFreq, d *dict.Dictionary) {
+	sort.Slice(wf, func(i, j int) bool {
+		return d.Word(wf[i].Word) < d.Word(wf[j].Word)
+	})
+}
+
+// RefTermVector builds each document's term vector: words by descending
+// frequency (ascending word ID on ties), truncated to k when k > 0.
+func RefTermVector(files [][]uint32, k int) [][]WordFreq {
+	out := make([][]WordFreq, len(files))
+	for i, f := range files {
+		counts := make(map[uint32]uint64)
+		for _, w := range f {
+			counts[w]++
+		}
+		out[i] = TermVectorOf(counts, k)
+	}
+	return out
+}
+
+// TermVectorOf converts one document's word counts into its canonical term
+// vector ordering.
+func TermVectorOf(counts map[uint32]uint64, k int) []WordFreq {
+	vec := make([]WordFreq, 0, len(counts))
+	for w, c := range counts {
+		vec = append(vec, WordFreq{Word: w, Freq: c})
+	}
+	sort.Slice(vec, func(i, j int) bool {
+		if vec[i].Freq != vec[j].Freq {
+			return vec[i].Freq > vec[j].Freq
+		}
+		return vec[i].Word < vec[j].Word
+	})
+	if k > 0 && len(vec) > k {
+		vec = vec[:k]
+	}
+	return vec
+}
+
+// RefInvertedIndex maps each word to the ascending list of documents that
+// contain it.
+func RefInvertedIndex(files [][]uint32) map[uint32][]uint32 {
+	out := make(map[uint32][]uint32)
+	for doc, f := range files {
+		seen := make(map[uint32]struct{})
+		for _, w := range f {
+			if _, ok := seen[w]; ok {
+				continue
+			}
+			seen[w] = struct{}{}
+			out[w] = append(out[w], uint32(doc))
+		}
+	}
+	// Docs were appended in ascending order already; keep the invariant
+	// explicit for mutated inputs.
+	for w := range out {
+		sort.Slice(out[w], func(i, j int) bool { return out[w][i] < out[w][j] })
+	}
+	return out
+}
+
+// RefSequenceCount counts every SeqLen-gram within each file (sequences do
+// not cross file boundaries) and sums globally.
+func RefSequenceCount(files [][]uint32) map[Seq]uint64 {
+	out := make(map[Seq]uint64)
+	for _, f := range files {
+		for i := 0; i+SeqLen <= len(f); i++ {
+			var s Seq
+			copy(s[:], f[i:i+SeqLen])
+			out[s]++
+		}
+	}
+	return out
+}
+
+// RefRankedInvertedIndex maps each n-gram to its postings, ordered by
+// descending per-document frequency (ascending document on ties).
+func RefRankedInvertedIndex(files [][]uint32) map[Seq][]DocFreq {
+	perDoc := make(map[Seq]map[uint32]uint64)
+	for doc, f := range files {
+		for i := 0; i+SeqLen <= len(f); i++ {
+			var s Seq
+			copy(s[:], f[i:i+SeqLen])
+			m := perDoc[s]
+			if m == nil {
+				m = make(map[uint32]uint64)
+				perDoc[s] = m
+			}
+			m[uint32(doc)]++
+		}
+	}
+	out := make(map[Seq][]DocFreq, len(perDoc))
+	for s, m := range perDoc {
+		out[s] = RankPostings(m)
+	}
+	return out
+}
+
+// RankPostings converts per-document counts to the canonical ranked order.
+func RankPostings(m map[uint32]uint64) []DocFreq {
+	postings := make([]DocFreq, 0, len(m))
+	for doc, c := range m {
+		postings = append(postings, DocFreq{Doc: doc, Freq: c})
+	}
+	sort.Slice(postings, func(i, j int) bool {
+		if postings[i].Freq != postings[j].Freq {
+			return postings[i].Freq > postings[j].Freq
+		}
+		return postings[i].Doc < postings[j].Doc
+	})
+	return postings
+}

@@ -1,0 +1,110 @@
+// Package analytics defines the six text-analytics tasks the paper
+// benchmarks (word count, sort, term vector, inverted index, sequence count,
+// ranked inverted index), their canonical result types, ground-truth
+// reference implementations over raw token streams, and the grammar
+// preprocessing shared by the compressed engines (per-rule word lists,
+// n-gram counts, and the head/tail structures of §IV-D).
+package analytics
+
+import "fmt"
+
+// Task identifies one of the paper's six benchmark tasks.
+type Task int
+
+// The benchmark tasks, in the paper's order.
+const (
+	WordCount Task = iota
+	Sort
+	TermVector
+	InvertedIndex
+	SequenceCount
+	RankedInvertedIndex
+	numTasks
+)
+
+// Tasks lists all benchmark tasks in the paper's order.
+var Tasks = []Task{WordCount, Sort, TermVector, InvertedIndex, SequenceCount, RankedInvertedIndex}
+
+// String returns the paper's name for the task.
+func (t Task) String() string {
+	switch t {
+	case WordCount:
+		return "word count"
+	case Sort:
+		return "sort"
+	case TermVector:
+		return "term vector"
+	case InvertedIndex:
+		return "inverted index"
+	case SequenceCount:
+		return "sequence count"
+	case RankedInvertedIndex:
+		return "ranked inverted index"
+	default:
+		return fmt.Sprintf("Task(%d)", int(t))
+	}
+}
+
+// SeqLen is the n-gram length used by sequence count and ranked inverted
+// index.  Three-word sequences follow the PUMA benchmark the paper adopts.
+const SeqLen = 3
+
+// Seq is one word sequence (n-gram).
+type Seq [SeqLen]uint32
+
+// WordFreq is a word with its frequency; the element type of sort and term
+// vector results.
+type WordFreq struct {
+	Word uint32
+	Freq uint64
+}
+
+// DocFreq is a document with a frequency, the element of ranked-inverted-
+// index postings.
+type DocFreq struct {
+	Doc  uint32
+	Freq uint64
+}
+
+// Engine is the uniform surface every analytics engine (uncompressed
+// baseline, DRAM TADOC, N-TADOC) implements.  Results are canonical:
+//
+//   - WordCount: global word -> frequency.
+//   - Sort: (word, freq) pairs in alphabetical order of the word strings.
+//   - TermVector: per document, its words ordered by descending frequency
+//     (word ID ascending on ties), truncated to k when k > 0.
+//   - InvertedIndex: word -> ascending list of documents containing it.
+//   - SequenceCount: global n-gram -> frequency.
+//   - RankedInvertedIndex: n-gram -> postings ordered by descending
+//     per-document frequency (document ascending on ties).
+type Engine interface {
+	WordCount() (map[uint32]uint64, error)
+	Sort() ([]WordFreq, error)
+	TermVector(k int) ([][]WordFreq, error)
+	InvertedIndex() (map[uint32][]uint32, error)
+	SequenceCount() (map[Seq]uint64, error)
+	RankedInvertedIndex() (map[Seq][]DocFreq, error)
+}
+
+// Run dispatches task t on e, discarding the concrete result.  The harness
+// uses it when only timing and device statistics matter.
+func Run(e Engine, t Task) error {
+	var err error
+	switch t {
+	case WordCount:
+		_, err = e.WordCount()
+	case Sort:
+		_, err = e.Sort()
+	case TermVector:
+		_, err = e.TermVector(10)
+	case InvertedIndex:
+		_, err = e.InvertedIndex()
+	case SequenceCount:
+		_, err = e.SequenceCount()
+	case RankedInvertedIndex:
+		_, err = e.RankedInvertedIndex()
+	default:
+		err = fmt.Errorf("analytics: unknown task %d", int(t))
+	}
+	return err
+}

@@ -1,0 +1,60 @@
+package cfg
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/text-analytics/ntadoc/internal/dict"
+)
+
+// WriteDOT renders the grammar's DAG in Graphviz DOT format, the
+// visualization of the paper's Figure 1(e).  Rule nodes show their index and
+// body length; edges carry the reference multiplicity when it exceeds one.
+// When d is non-nil and a rule's body is short, the node label includes the
+// body rendered with real words.
+func (g *Grammar) WriteDOT(w io.Writer, d *dict.Dictionary) error {
+	if _, err := fmt.Fprintln(w, "digraph tadoc {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=TB;")
+	fmt.Fprintln(w, `  node [shape=box, fontname="monospace"];`)
+	for ri, body := range g.Rules {
+		label := fmt.Sprintf("R%d (%d syms)", ri, len(body))
+		if d != nil && len(body) <= 8 {
+			label = fmt.Sprintf("R%d: %s", ri, renderBody(body, d))
+		}
+		fmt.Fprintf(w, "  r%d [label=%q];\n", ri, label)
+		edges := map[uint32]int{}
+		for _, s := range body {
+			if s.IsRule() {
+				edges[s.RuleIndex()]++
+			}
+		}
+		for child, n := range edges {
+			if n > 1 {
+				fmt.Fprintf(w, "  r%d -> r%d [label=\"x%d\"];\n", ri, child, n)
+			} else {
+				fmt.Fprintf(w, "  r%d -> r%d;\n", ri, child)
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// renderBody shows a short body in the paper's notation, substituting real
+// words where a dictionary is available.
+func renderBody(body []Symbol, d *dict.Dictionary) string {
+	out := ""
+	for i, s := range body {
+		if i > 0 {
+			out += " "
+		}
+		if s.IsWord() && d != nil && int(s.WordID()) < d.Len() {
+			out += d.Word(s.WordID())
+			continue
+		}
+		out += s.String()
+	}
+	return out
+}

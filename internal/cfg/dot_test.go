@@ -1,0 +1,55 @@
+package cfg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/text-analytics/ntadoc/internal/dict"
+)
+
+func TestWriteDOTStructure(t *testing.T) {
+	g := paperGrammar()
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, nil); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph tadoc {", "r0", "r1", "r2", "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in DOT output", want)
+		}
+	}
+	// R0 references R1 twice: multiplicity label.
+	if !strings.Contains(out, `label="x2"`) {
+		t.Errorf("missing multiplicity edge label:\n%s", out)
+	}
+}
+
+func TestWriteDOTWithDictionary(t *testing.T) {
+	g := paperGrammar()
+	d := dict.New()
+	for _, w := range []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"} {
+		d.Intern(w)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, d); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	// Short rule bodies are rendered with real words.
+	if !strings.Contains(buf.String(), "alpha beta") {
+		t.Errorf("dictionary words not rendered:\n%s", buf.String())
+	}
+}
+
+func TestRenderBody(t *testing.T) {
+	d := dict.New()
+	d.Intern("hello")
+	body := []Symbol{Word(0), Rule(3), Sep(1), Word(9)}
+	got := renderBody(body, d)
+	// Known word rendered, unknown word and rule/sep in paper notation.
+	want := "hello R3 |1| w9"
+	if got != want {
+		t.Errorf("renderBody = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,228 @@
+package cfg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Grammar is a TADOC context-free grammar.  Rules[0] is the root (R0), which
+// concatenates all files: file i's content is the symbols of R0 strictly
+// before separator Sep(i) and after Sep(i-1).  Every rule index referenced
+// by any body must be < len(Rules).
+type Grammar struct {
+	Rules    [][]Symbol
+	NumWords uint32   // vocabulary size (dictionary IDs are < NumWords)
+	NumFiles uint32   // number of files concatenated in R0
+	Files    []string // optional file names, len == NumFiles when present
+}
+
+// ErrInvalid reports a structurally broken grammar.
+var ErrInvalid = errors.New("cfg: invalid grammar")
+
+// Validate checks structural invariants: rule references in range, word IDs
+// within the vocabulary, separators only in R0 and exactly once per file in
+// increasing order, and acyclicity.
+func (g *Grammar) Validate() error {
+	if len(g.Rules) == 0 {
+		return fmt.Errorf("%w: no rules", ErrInvalid)
+	}
+	if uint64(len(g.Rules)) > MaxRules {
+		return fmt.Errorf("%w: %d rules", ErrInvalid, len(g.Rules))
+	}
+	seps := 0
+	for ri, body := range g.Rules {
+		for _, s := range body {
+			switch {
+			case s.IsRule():
+				if int(s.RuleIndex()) >= len(g.Rules) {
+					return fmt.Errorf("%w: R%d references missing R%d", ErrInvalid, ri, s.RuleIndex())
+				}
+			case s.IsSep():
+				if ri != 0 {
+					return fmt.Errorf("%w: separator inside R%d", ErrInvalid, ri)
+				}
+				if s.SepIndex() != uint32(seps) {
+					return fmt.Errorf("%w: separator %d out of order (want %d)", ErrInvalid, s.SepIndex(), seps)
+				}
+				seps++
+			default:
+				if s.WordID() >= g.NumWords {
+					return fmt.Errorf("%w: word %d beyond vocabulary %d", ErrInvalid, s.WordID(), g.NumWords)
+				}
+			}
+		}
+	}
+	if uint32(seps) != g.NumFiles {
+		return fmt.Errorf("%w: %d separators for %d files", ErrInvalid, seps, g.NumFiles)
+	}
+	if g.Files != nil && uint32(len(g.Files)) != g.NumFiles {
+		return fmt.Errorf("%w: %d file names for %d files", ErrInvalid, len(g.Files), g.NumFiles)
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoOrder returns the rule indices in topological order (parents before
+// children; R0 first when reachable ordering allows).  It fails on cycles,
+// which a well-formed TADOC grammar can never contain.
+func (g *Grammar) TopoOrder() ([]uint32, error) {
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make([]uint8, len(g.Rules))
+	order := make([]uint32, 0, len(g.Rules))
+
+	// Iterative post-order DFS; reversed post-order is topological.
+	type frame struct {
+		rule uint32
+		next int
+	}
+	var stack []frame
+	for start := range g.Rules {
+		if state[start] != unvisited {
+			continue
+		}
+		stack = append(stack[:0], frame{rule: uint32(start)})
+		state[start] = visiting
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			body := g.Rules[f.rule]
+			advanced := false
+			for f.next < len(body) {
+				s := body[f.next]
+				f.next++
+				if !s.IsRule() {
+					continue
+				}
+				child := s.RuleIndex()
+				switch state[child] {
+				case visiting:
+					return nil, fmt.Errorf("%w: cycle through R%d", ErrInvalid, child)
+				case unvisited:
+					state[child] = visiting
+					stack = append(stack, frame{rule: child})
+					advanced = true
+				}
+				if advanced {
+					break
+				}
+			}
+			if !advanced && f.next >= len(body) {
+				state[f.rule] = done
+				order = append(order, f.rule)
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	// Reverse: parents first.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order, nil
+}
+
+// Degrees returns the in- and out-degree of each rule in the DAG (edges are
+// rule references, counted with multiplicity).
+func (g *Grammar) Degrees() (in, out []uint32) {
+	in = make([]uint32, len(g.Rules))
+	out = make([]uint32, len(g.Rules))
+	for ri, body := range g.Rules {
+		for _, s := range body {
+			if s.IsRule() {
+				out[ri]++
+				in[s.RuleIndex()]++
+			}
+		}
+	}
+	return in, out
+}
+
+// Expand decompresses rule ri to its full token stream (words and, for R0,
+// separators).  The walk is iterative: untrusted archives can contain
+// arbitrarily deep rule chains, which must not exhaust the goroutine stack.
+func (g *Grammar) Expand(ri uint32) []Symbol {
+	var out []Symbol
+	type frame struct {
+		rule uint32
+		pos  int
+	}
+	stack := []frame{{rule: ri}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		body := g.Rules[f.rule]
+		if f.pos >= len(body) {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		s := body[f.pos]
+		f.pos++
+		if s.IsRule() {
+			stack = append(stack, frame{rule: s.RuleIndex()})
+		} else {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ExpandFiles decompresses the whole grammar back to per-file word-ID
+// streams: the inverse of compression, used by round-trip tests and by
+// consumers that genuinely need raw text.
+func (g *Grammar) ExpandFiles() [][]uint32 {
+	files := make([][]uint32, 0, g.NumFiles)
+	var cur []uint32
+	for _, s := range g.Expand(0) {
+		switch {
+		case s.IsSep():
+			files = append(files, cur)
+			cur = nil
+		case s.IsWord():
+			cur = append(cur, s.WordID())
+		}
+	}
+	return files
+}
+
+// Stats summarizes a grammar for reporting (the Table I analogue).
+type Stats struct {
+	Rules       int   // rule count
+	Files       int   // file count
+	Vocabulary  int   // distinct words
+	BodySymbols int64 // total symbols across rule bodies (compressed size)
+	Expanded    int64 // total tokens when fully expanded (uncompressed size)
+}
+
+// ComputeStats returns summary statistics; Expanded is computed without
+// materializing the expansion, via per-rule token counts in topological
+// order.
+func (g *Grammar) ComputeStats() Stats {
+	st := Stats{
+		Rules:      len(g.Rules),
+		Files:      int(g.NumFiles),
+		Vocabulary: int(g.NumWords),
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return st
+	}
+	size := make([]int64, len(g.Rules))
+	for i := len(order) - 1; i >= 0; i-- {
+		ri := order[i]
+		var n int64
+		for _, s := range g.Rules[ri] {
+			if s.IsRule() {
+				n += size[s.RuleIndex()]
+			} else if s.IsWord() {
+				n++
+			}
+		}
+		size[ri] = n
+		st.BodySymbols += int64(len(g.Rules[ri]))
+	}
+	st.Expanded = size[0]
+	return st
+}

@@ -1,0 +1,99 @@
+// Package cfg models the context-free grammar TADOC compresses text into,
+// its DAG view, and the compressed on-disk format.  A grammar is a list of
+// rules; rule 0 (the root) concatenates the compressed files, separated by
+// per-file segmentation symbols; other rules capture repeated patterns.
+// Analytics tasks traverse the DAG induced by rule references instead of
+// decompressing (paper §II, Figure 1).
+package cfg
+
+import "fmt"
+
+// Symbol is one element of a rule body: a word, a rule reference, or a file
+// separator.  The two top bits select the class, leaving 2^30 values each —
+// far beyond the paper's largest dataset (57 M rules, 99 M words, scaled
+// down ~100× here).
+//
+//	word:      0 .. 2^30-1 (dictionary ID)
+//	separator: sepBit | file index  (each file boundary is a distinct
+//	           symbol, so no rule can span a file boundary)
+//	rule:      ruleBit | rule index
+type Symbol uint32
+
+const (
+	sepBit  Symbol = 1 << 30
+	ruleBit Symbol = 1 << 31
+
+	// MaxWords is the largest dictionary ID representable in a Symbol.
+	MaxWords = 1 << 30
+	// MaxRules is the largest rule index representable in a Symbol.
+	MaxRules = 1 << 30
+)
+
+// Word returns the symbol for dictionary ID id.
+func Word(id uint32) Symbol {
+	if id >= MaxWords {
+		panic(fmt.Sprintf("cfg: word id %d out of range", id))
+	}
+	return Symbol(id)
+}
+
+// Rule returns the symbol referencing rule index i.
+func Rule(i uint32) Symbol {
+	if i >= MaxRules {
+		panic(fmt.Sprintf("cfg: rule index %d out of range", i))
+	}
+	return ruleBit | Symbol(i)
+}
+
+// Sep returns the separator symbol that ends file index i.
+func Sep(i uint32) Symbol {
+	if i >= MaxWords {
+		panic(fmt.Sprintf("cfg: file index %d out of range", i))
+	}
+	return sepBit | Symbol(i)
+}
+
+// IsWord reports whether s is a word symbol.
+func (s Symbol) IsWord() bool { return s&(sepBit|ruleBit) == 0 }
+
+// IsRule reports whether s references a rule.
+func (s Symbol) IsRule() bool { return s&ruleBit != 0 }
+
+// IsSep reports whether s is a file separator.
+func (s Symbol) IsSep() bool { return s&(sepBit|ruleBit) == sepBit }
+
+// WordID returns the dictionary ID of a word symbol.
+func (s Symbol) WordID() uint32 {
+	if !s.IsWord() {
+		panic(fmt.Sprintf("cfg: %v is not a word", s))
+	}
+	return uint32(s)
+}
+
+// RuleIndex returns the rule index of a rule symbol.
+func (s Symbol) RuleIndex() uint32 {
+	if !s.IsRule() {
+		panic(fmt.Sprintf("cfg: %v is not a rule", s))
+	}
+	return uint32(s &^ ruleBit)
+}
+
+// SepIndex returns the file index of a separator symbol.
+func (s Symbol) SepIndex() uint32 {
+	if !s.IsSep() {
+		panic(fmt.Sprintf("cfg: %v is not a separator", s))
+	}
+	return uint32(s &^ sepBit)
+}
+
+// String renders the symbol in the paper's notation (w3, R1, |2|).
+func (s Symbol) String() string {
+	switch {
+	case s.IsRule():
+		return fmt.Sprintf("R%d", s.RuleIndex())
+	case s.IsSep():
+		return fmt.Sprintf("|%d|", s.SepIndex())
+	default:
+		return fmt.Sprintf("w%d", uint32(s))
+	}
+}

@@ -1,0 +1,185 @@
+// Package core implements N-TADOC, the paper's contribution: text analytics
+// directly on TADOC-compressed data resident on NVM.  The engine realizes
+// the four design pillars of §IV:
+//
+//   - the pruning method with NVM pool management (Algorithm 1): rule bodies
+//     are trimmed to (id, frequency) pairs — subrules first, then words —
+//     and laid out contiguously in traversal order in the DAG pool;
+//   - bottom-up summation (Algorithm 2): every variable-length structure is
+//     allocated once at its upper bound, so nothing is ever reconstructed on
+//     NVM;
+//   - the NVM-adapted data structures of §IV-D (pool hash tables with
+//     status/key/value buffers, pool vectors, the traversal queue, and the
+//     head/tail structures for sequence analytics);
+//   - the two persistence strategies of §IV-E: phase-level (flush +
+//     checkpoint at phase boundaries) and operation-level (a logical redo
+//     log entry per counter mutation, with crash recovery by replay).
+//
+// The ablation switches (NoPruning, NoBounds, Scatter) reconstruct the
+// naive "overload the allocator and point it at NVM" port the paper
+// measures at 13.37x overhead in §III-B, and serve the design-choice
+// ablation benchmarks.
+package core
+
+import (
+	"errors"
+
+	"github.com/text-analytics/ntadoc/internal/nvm"
+)
+
+// Strategy selects the traversal direction for per-file tasks (§VI-E).
+type Strategy int
+
+// Traversal strategies.
+const (
+	// Auto picks bottom-up for many-file corpora, top-down otherwise.
+	Auto Strategy = iota
+	// TopDown propagates weights from the root, traversing the DAG per
+	// file: efficient for few files, catastrophic for many (§VI-E).
+	TopDown
+	// BottomUp materializes per-rule word lists once and merges them at
+	// each file's top level: efficient for many files.
+	BottomUp
+)
+
+// autoFileThreshold is the file count above which Auto selects BottomUp.
+const autoFileThreshold = 500
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case TopDown:
+		return "top-down"
+	case BottomUp:
+		return "bottom-up"
+	default:
+		return "auto"
+	}
+}
+
+// Persistence selects the §IV-E persistence strategy.
+type Persistence int
+
+// Persistence levels.
+const (
+	// PhaseLevel flushes the pool and writes a checkpoint at the end of
+	// each phase (the libpmem strategy): cheap, recovery restarts the
+	// interrupted phase.
+	PhaseLevel Persistence = iota
+	// OpLevel additionally logs every counter mutation to a redo log with
+	// an immediate flush (the libpmemobj strategy): write-amplified but
+	// recoverable to the last operation.
+	OpLevel
+)
+
+// String names the persistence level.
+func (p Persistence) String() string {
+	if p == OpLevel {
+		return "operation-level"
+	}
+	return "phase-level"
+}
+
+// Workflow phases recorded in pool checkpoints.
+const (
+	phaseNone      = 0
+	phaseInit      = 1
+	phaseTraversal = 2
+)
+
+// CounterKind selects the §IV-D result-structure family.
+type CounterKind int
+
+// Counter kinds.
+const (
+	// CounterAuto picks per structure: the dense vector counter when its
+	// flat array would be no larger than the equivalent hash table (dense
+	// key spaces like dictionary IDs), the hash table otherwise.
+	CounterAuto CounterKind = iota
+	// CounterHash forces hash tables everywhere.
+	CounterHash
+	// CounterDense forces dense vector counters wherever the key space is
+	// known (falling back to hash tables elsewhere).
+	CounterDense
+)
+
+// String names the counter kind.
+func (c CounterKind) String() string {
+	switch c {
+	case CounterHash:
+		return "hash"
+	case CounterDense:
+		return "dense"
+	default:
+		return "auto"
+	}
+}
+
+// Options configures an N-TADOC engine.
+type Options struct {
+	// Kind is the simulated medium for the DAG pool (default KindNVM; the
+	// Fig 7 comparison runs the same engine on KindSSD/KindHDD).
+	Kind nvm.Kind
+	// Model overrides the medium's default cost model when non-nil.
+	Model *nvm.CostModel
+	// Path makes the pool file-backed for real cross-process durability.
+	Path string
+	// Persistence selects the §IV-E strategy (default PhaseLevel).
+	Persistence Persistence
+	// Strategy selects the traversal direction (default Auto).
+	Strategy Strategy
+	// Counters selects between the §IV-D hash table and vector counter
+	// (default CounterAuto).
+	Counters CounterKind
+	// Sequences enables the sequence-analytics preprocessing during
+	// initialization (head/tail structures, per-rule n-gram tables).
+	// Without it, SequenceCount and RankedInvertedIndex return an error —
+	// and initialization is much cheaper, matching the per-task init times
+	// of Table II.
+	Sequences bool
+
+	// Ablation switches; all false in the real system.
+
+	// NoPruning stores raw, untrimmed rule bodies (challenge 1 baseline).
+	NoPruning bool
+	// NoBounds replaces upper-bound-sized tables with growable ones that
+	// reconstruct when full (challenge 2 baseline).
+	NoBounds bool
+	// Scatter allocates rule bodies in shuffled order with random padding,
+	// destroying the pool's locality (the naive-port layout).
+	Scatter bool
+
+	// PoolSlack is the extra pool capacity fraction beyond the estimate
+	// (default 0.5; NoBounds runs need headroom for reconstruction).
+	PoolSlack float64
+	// OpLogCap is the operation-level redo-log capacity (default 256 KiB;
+	// the log compacts when full, flushing the live tables).
+	OpLogCap int64
+	// PerOpCommit fences the redo log after every single counter mutation
+	// instead of after each analytics operation — the behaviour of the
+	// naive PMDK port of §III-B, where every structure mutation is its own
+	// transaction.  Only meaningful with Persistence == OpLevel.
+	PerOpCommit bool
+}
+
+// withDefaults resolves zero values.
+func (o Options) withDefaults() Options {
+	if o.PoolSlack == 0 {
+		o.PoolSlack = 0.5
+	}
+	if o.OpLogCap == 0 {
+		o.OpLogCap = 256 << 10
+	}
+	return o
+}
+
+// Engine errors.
+var (
+	// ErrNeedsReload reports recovery finding a pool whose initialization
+	// never completed: the engine must be rebuilt from the compressed
+	// input.
+	ErrNeedsReload = errors.New("core: initialization incomplete; reload from compressed input")
+	// ErrNoSequences reports a sequence task on an engine initialized
+	// without sequence preprocessing.
+	ErrNoSequences = errors.New("core: engine initialized without sequence support")
+)

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"github.com/text-analytics/ntadoc/internal/analytics"
+	"github.com/text-analytics/ntadoc/internal/dict"
+	"github.com/text-analytics/ntadoc/internal/metrics"
+	"github.com/text-analytics/ntadoc/internal/nvm"
+	"github.com/text-analytics/ntadoc/internal/pmem"
+	"github.com/text-analytics/ntadoc/internal/pstruct"
+)
+
+// RecoveryInfo reports what Reopen found on the device.
+type RecoveryInfo struct {
+	// Phase is the last durably completed phase: phaseInit means the DAG
+	// pool is intact and traversal must (re)run; phaseTraversal means the
+	// last task's results are committed and readable.
+	Phase uint32
+	// Replayed is the number of operation-level log records applied onto
+	// the recovered tables.
+	Replayed int64
+	// CommittedTask is the task whose results are committed, valid when
+	// Phase == 2 (graph traversal).
+	CommittedTask analytics.Task
+}
+
+// Reopen recovers an engine from an existing pool after a crash or restart.
+// The persistence contract (§IV-E):
+//
+//   - If initialization never completed, ErrNeedsReload is returned and the
+//     caller must rebuild with New from the compressed input.
+//   - Phase-level: the engine restarts from the last completed phase — the
+//     DAG pool is intact, an interrupted traversal is simply re-run.
+//   - Operation-level: additionally, counter mutations logged before the
+//     crash are replayed onto the recovered tables.
+//
+// opts must carry the same ablation/persistence configuration the pool was
+// built with.
+func Reopen(dev *nvm.SimDevice, d *dict.Dictionary, opts Options) (*Engine, *RecoveryInfo, error) {
+	opts = opts.withDefaults()
+	pool, err := pmem.Open(dev)
+	if err != nil {
+		return nil, nil, err
+	}
+	if pool.Phase() < phaseInit {
+		return nil, nil, ErrNeedsReload
+	}
+	e := &Engine{opts: opts, dev: dev, pool: pool, d: d, meter: &metrics.Meter{}}
+	info := &RecoveryInfo{Phase: pool.Phase()}
+
+	get := func(slot int) int64 {
+		v, err := pool.Root(slot)
+		if err != nil {
+			panic("core: root slot: " + err.Error())
+		}
+		return v
+	}
+	e.numRules = uint32(get(rootNumRules))
+	e.numWords = uint32(get(rootNumWords))
+	e.numFiles = uint32(get(rootNumFiles))
+	e.metaAcc = pool.AccessorAt(get(rootMeta), int64(e.numRules)*metaSize)
+	rootOff := get(rootRootBody)
+	hdr := pool.AccessorAt(rootOff, 8)
+	e.rootLen = int64(hdr.Uint64(0))
+	e.rootAcc = pool.AccessorAt(rootOff, 8+e.rootLen*4)
+	e.topoAcc = pool.AccessorAt(get(rootTopo), int64(e.numRules)*4)
+	e.initTop = get(rootInitTop)
+	e.distinctWords = get(rootDistinct)
+	info.CommittedTask = analytics.Task(get(rootTaskID))
+
+	// Sequence structures.
+	if seqDictOff := get(rootSeqDict); seqDictOff != 0 {
+		e.seqEnabled = true
+		cnt := int64(pool.AccessorAt(seqDictOff, 8).Uint64(0))
+		acc := pool.AccessorAt(seqDictOff, 8+cnt*12)
+		flat := make([]uint32, cnt*3)
+		acc.Uint32s(8, flat)
+		e.seqList = make([]analytics.Seq, cnt)
+		e.seqIDs = make(map[analytics.Seq]uint32, cnt)
+		for i := int64(0); i < cnt; i++ {
+			q := analytics.Seq{flat[i*3], flat[i*3+1], flat[i*3+2]}
+			e.seqList[i] = q
+			e.seqIDs[q] = uint32(i)
+		}
+		e.edgesAcc = pool.AccessorAt(get(rootEdges), int64(e.numRules)*edgeSize)
+		e.localsAcc = pool.AccessorAt(get(rootSeqLocal), int64(e.numRules)*8)
+	}
+
+	// Operation-level log: reattach and replay pending records.
+	if opts.Persistence == OpLevel {
+		logOff := get(rootOpLog)
+		if logOff != 0 {
+			e.oplog = newOpLog(pool.AccessorAt(logOff, opts.OpLogCap))
+			n, err := e.replayOps()
+			if err != nil {
+				return nil, nil, err
+			}
+			info.Replayed = n
+		}
+	}
+	e.travTables = make(map[int64]counterTable)
+	e.travDirty = make(map[int64]bool)
+	return e, info, nil
+}
+
+// replayOps applies pending operation-log records onto their tables.
+func (e *Engine) replayOps() (int64, error) {
+	n := e.oplog.pending(e.pool.Epoch())
+	tables := make(map[int64]pstruct.Counter)
+	for i := int64(0); i < n; i++ {
+		tableOff, key, delta := e.oplog.replayRecord(i)
+		if tableOff < 0 {
+			continue // growable ablation tables are not replayable
+		}
+		tbl, ok := tables[tableOff]
+		if !ok {
+			var err error
+			tbl, err = pstruct.OpenCounterAt(e.pool, tableOff)
+			if err != nil {
+				return i, err
+			}
+			tables[tableOff] = tbl
+		}
+		if _, err := tbl.Add(key, delta); err != nil {
+			return i, err
+		}
+	}
+	e.oplog.head = opLogHeader + n*opRecSize
+	e.oplog.flushed = e.oplog.head
+	return n, nil
+}
+
+// ReplayedCounts reads a recovered counter table: the word (or sequence-ID)
+// counts reconstructed from durable state plus log replay.  It returns the
+// table found at the committed result root, or the table targeted by the
+// replayed operations when no traversal committed.
+func (e *Engine) ReplayedCounts() (map[uint32]uint64, error) {
+	off, err := e.pool.Root(rootResult)
+	if err != nil {
+		return nil, err
+	}
+	if off == 0 && e.oplog != nil && e.oplog.pending(e.pool.Epoch()) > 0 {
+		off, _, _ = e.oplog.replayRecord(0)
+	}
+	if off <= 0 {
+		return map[uint32]uint64{}, nil
+	}
+	tbl, err := pstruct.OpenCounterAt(e.pool, off)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[uint32]uint64, tbl.Len())
+	tbl.Range(func(k, v uint64) bool { out[uint32(k)] = v; return true })
+	return out, nil
+}
+
+// CommittedCounts returns the last committed traversal's result table when
+// the pool's durable phase is graph traversal, for the counter-style tasks
+// (word count, sort, sequence count).  ok is false when no traversal has
+// committed or the task's results are not table-shaped.
+func (e *Engine) CommittedCounts() (counts map[uint32]uint64, task analytics.Task, ok bool) {
+	if e.pool.Phase() < phaseTraversal {
+		return nil, 0, false
+	}
+	off, err := e.pool.Root(rootResult)
+	if err != nil || off == 0 {
+		return nil, 0, false
+	}
+	t, err := e.pool.Root(rootTaskID)
+	if err != nil {
+		return nil, 0, false
+	}
+	tbl, err := pstruct.OpenCounterAt(e.pool, off)
+	if err != nil {
+		return nil, 0, false
+	}
+	counts = make(map[uint32]uint64, tbl.Len())
+	tbl.Range(func(k, v uint64) bool { counts[uint32(k)] = v; return true })
+	return counts, analytics.Task(t), true
+}

@@ -1,0 +1,419 @@
+package core
+
+import (
+	"github.com/text-analytics/ntadoc/internal/analytics"
+	"github.com/text-analytics/ntadoc/internal/cfg"
+	"github.com/text-analytics/ntadoc/internal/metrics"
+	"github.com/text-analytics/ntadoc/internal/pstruct"
+)
+
+// Sequence analytics over pool-resident data.  Initialization stored, per
+// rule: an n-gram table (sequence ID -> count within one expansion) and a
+// 32-byte head/tail edge record (§IV-D).  The traversal phase combines them
+// along the ordered root body without expanding any rule: a segment's count
+// is the sum of its rules' internal counts plus the boundary-spanning
+// windows reconstructed from edge records.
+
+// edgeInfo is one rule's edge record read from the pool.
+type edgeInfo struct {
+	length int64
+	split  bool
+	tokens []uint32
+}
+
+// readEdge fetches rule r's edge record.
+func (e *Engine) readEdge(r uint32) edgeInfo {
+	rec := e.edgesAcc.Slice(int64(r)*edgeSize, edgeSize)
+	n := int64(rec.Byte(edgeCount))
+	toks := make([]uint32, n)
+	rec.Uint32s(edgeTokens, toks)
+	return edgeInfo{
+		length: int64(rec.Uint64(edgeLen)),
+		split:  rec.Byte(edgeFlags)&1 != 0,
+		tokens: toks,
+	}
+}
+
+// poolStreamToken mirrors analytics.streamToken for pool-sourced edges.
+type poolStreamToken struct {
+	tok      uint32
+	sym      int
+	gapAfter bool
+}
+
+// spanningWindowsPool walks a symbol sequence and emits every boundary-
+// spanning window, reading per-rule edges from the pool.  Separators are
+// hard breaks.  This mirrors analytics.addSpanningWindows, sourcing from
+// NVM instead of DRAM summaries.
+func (e *Engine) spanningWindowsPool(syms []cfg.Symbol, emit func(analytics.Seq)) {
+	var stream []poolStreamToken
+	flush := func() {
+		for i := 0; i+analytics.SeqLen <= len(stream); i++ {
+			valid := true
+			for j := 0; j < analytics.SeqLen-1; j++ {
+				if stream[i+j].gapAfter {
+					valid = false
+					break
+				}
+			}
+			if !valid || stream[i].sym == stream[i+analytics.SeqLen-1].sym {
+				continue
+			}
+			var q analytics.Seq
+			for j := 0; j < analytics.SeqLen; j++ {
+				q[j] = stream[i+j].tok
+			}
+			emit(q)
+		}
+		stream = stream[:0]
+	}
+	for idx, s := range syms {
+		switch {
+		case s.IsSep():
+			flush()
+		case s.IsWord():
+			stream = append(stream, poolStreamToken{tok: s.WordID(), sym: idx})
+		case s.IsRule():
+			info := e.readEdge(s.RuleIndex())
+			if !info.split {
+				for _, t := range info.tokens {
+					stream = append(stream, poolStreamToken{tok: t, sym: idx})
+				}
+				continue
+			}
+			h := analytics.SeqLen - 1
+			for i, t := range info.tokens {
+				st := poolStreamToken{tok: t, sym: idx}
+				if i == h-1 {
+					st.gapAfter = true
+				}
+				stream = append(stream, st)
+			}
+		}
+	}
+	flush()
+}
+
+// addSegmentSeqCounts accumulates a symbol sequence's n-gram counts into
+// counter: per-rule internal counts from pool tables, plus spanning windows.
+func (e *Engine) addSegmentSeqCounts(syms []cfg.Symbol, counter counterTable, counterOff int64) error {
+	for _, s := range syms {
+		if !s.IsRule() {
+			continue
+		}
+		off := e.meta(s.RuleIndex()).seqOff()
+		if off == 0 {
+			continue // rule has no internal n-grams
+		}
+		tbl, err := pstruct.OpenCounterAt(e.pool, off)
+		if err != nil {
+			return err
+		}
+		var addErr error
+		tbl.Range(func(k, v uint64) bool {
+			addErr = e.addCount(counter, counterOff, k, v)
+			return addErr == nil
+		})
+		if addErr != nil {
+			return addErr
+		}
+		if err := e.opCommit(); err != nil {
+			return err
+		}
+	}
+	var emitErr error
+	e.spanningWindowsPool(syms, func(q analytics.Seq) {
+		if emitErr != nil {
+			return
+		}
+		e.meter.Charge(1, metrics.CostSeqOp) // DRAM intern lookup
+		id, ok := e.seqIDs[q]
+		if !ok {
+			// Every possible window was interned at initialization; an
+			// unknown one indicates pool corruption.
+			emitErr = errEngine("sequence traversal", ErrNoSequences)
+			return
+		}
+		emitErr = e.addCount(counter, counterOff, uint64(id), 1)
+	})
+	if emitErr != nil {
+		return emitErr
+	}
+	return e.opCommit()
+}
+
+// seqBound bounds a segment's distinct-sequence count by its expansion
+// length (each window starts at one token).
+func (e *Engine) seqBound(syms []cfg.Symbol) int64 {
+	var length int64
+	for _, s := range syms {
+		switch {
+		case s.IsWord():
+			length++
+		case s.IsRule():
+			length += e.meta(s.RuleIndex()).expLen()
+		}
+	}
+	if length < 1 {
+		length = 1
+	}
+	if n := int64(len(e.seqList)); n > 0 && n < length {
+		return n
+	}
+	return length
+}
+
+// localTable opens rule r's local-window table, or nil when the rule has
+// no local windows.
+func (e *Engine) localTable(r uint32) (pstruct.Counter, error) {
+	off := int64(e.localsAcc.Uint64(int64(r) * 8))
+	if off == 0 {
+		return nil, nil
+	}
+	return pstruct.OpenCounterAt(e.pool, off)
+}
+
+// computeWeights runs the top-down weight propagation (the pool traversal
+// queue driving Kahn's algorithm) leaving each rule's corpus-wide weight in
+// its metadata slot.
+func (e *Engine) computeWeights() error {
+	for r := uint32(0); r < e.numRules; r++ {
+		m := e.meta(r)
+		m.setWeight(0)
+		m.setScratch(uint64(m.inDeg()))
+	}
+	queue, err := pstruct.NewQueue(e.pool, int64(e.numRules))
+	if err != nil {
+		return err
+	}
+	e.meta(0).setWeight(1)
+	if err := queue.Push(0); err != nil {
+		return err
+	}
+	for queue.Len() > 0 {
+		r, err := queue.Pop()
+		if err != nil {
+			return err
+		}
+		w := e.meta(r).weight()
+		propagate := func(sub uint32, freq uint64) error {
+			sm := e.meta(sub)
+			sm.setWeight(sm.weight() + w*freq)
+			left := sm.scratch() - freq
+			sm.setScratch(left)
+			if left == 0 {
+				return queue.Push(sub)
+			}
+			return nil
+		}
+		if e.opts.NoPruning {
+			for _, s := range e.readRawBody(r) {
+				if s.IsRule() {
+					if err := propagate(s.RuleIndex(), 1); err != nil {
+						return err
+					}
+				}
+			}
+			continue
+		}
+		subs, _ := e.readBodyPairs(r)
+		for _, p := range subs {
+			if err := propagate(p.id, uint64(p.freq)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// addWeightedLocals merges every rule's local-window table, scaled by the
+// rule weights left in the metadata by computeWeights, into counter.
+func (e *Engine) addWeightedLocals(counter counterTable, off int64, weightOf func(r uint32) uint64) error {
+	for r := uint32(1); r < e.numRules; r++ {
+		w := weightOf(r)
+		if w == 0 {
+			continue
+		}
+		tbl, err := e.localTable(r)
+		if err != nil {
+			return err
+		}
+		if tbl == nil {
+			continue
+		}
+		var addErr error
+		tbl.Range(func(k, v uint64) bool {
+			addErr = e.addCount(counter, off, k, v*w)
+			return addErr == nil
+		})
+		if addErr != nil {
+			return addErr
+		}
+		if err := e.opCommit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addSpanningToCounter counts the boundary-spanning windows of a top-level
+// symbol sequence into counter via the DRAM sequence dictionary.
+func (e *Engine) addSpanningToCounter(syms []cfg.Symbol, counter counterTable, off int64) error {
+	var emitErr error
+	e.spanningWindowsPool(syms, func(q analytics.Seq) {
+		if emitErr != nil {
+			return
+		}
+		e.meter.Charge(1, metrics.CostSeqOp) // DRAM intern lookup
+		id, ok := e.seqIDs[q]
+		if !ok {
+			emitErr = errEngine("sequence traversal", ErrNoSequences)
+			return
+		}
+		emitErr = e.addCount(counter, off, uint64(id), 1)
+	})
+	if emitErr != nil {
+		return emitErr
+	}
+	return e.opCommit()
+}
+
+// SequenceCount implements analytics.Engine via weighted local windows:
+// every window of the corpus belongs to exactly one rule body (or to the
+// root's top level), so global counts are the root's spanning windows plus
+// each rule's local table scaled by its weight.
+func (e *Engine) SequenceCount() (map[analytics.Seq]uint64, error) {
+	if !e.seqEnabled {
+		return nil, ErrNoSequences
+	}
+	span := e.beginTraversal()
+	root := e.readRoot()
+	counter, off, err := e.newCounter(e.seqBound(root), int64(len(e.seqList)))
+	if err != nil {
+		return nil, errEngine("sequence count", err)
+	}
+	if err := e.computeWeights(); err != nil {
+		return nil, errEngine("sequence count", err)
+	}
+	if err := e.addWeightedLocals(counter, off, func(r uint32) uint64 {
+		return e.meta(r).weight()
+	}); err != nil {
+		return nil, errEngine("sequence count", err)
+	}
+	if err := e.addSpanningToCounter(root, counter, off); err != nil {
+		return nil, err
+	}
+	e.meter.Charge(counter.Len(), metrics.CostHashOp)
+	out := make(map[analytics.Seq]uint64, counter.Len())
+	counter.Range(func(k, v uint64) bool {
+		out[e.seqList[uint32(k)]] = v
+		return true
+	})
+	if err := e.endTraversal(span, analytics.SequenceCount, off); err != nil {
+		return nil, errEngine("sequence count", err)
+	}
+	return out, nil
+}
+
+// RankedInvertedIndex implements analytics.Engine.  Per-file counts use the
+// strategy split of §VI-E: top-down computes per-file rule weights and
+// scales local-window tables (efficient for few files); bottom-up merges
+// the cumulative per-rule tables stored at initialization along each file's
+// top level (efficient for many files).
+func (e *Engine) RankedInvertedIndex() (map[analytics.Seq][]analytics.DocFreq, error) {
+	if !e.seqEnabled {
+		return nil, ErrNoSequences
+	}
+	span := e.beginTraversal()
+	root := e.readRoot()
+	perDoc := make(map[analytics.Seq]map[uint32]uint64)
+	collect := func(doc uint32, counter counterTable) {
+		e.meter.Charge(counter.Len(), metrics.CostHashOp)
+		counter.Range(func(k, v uint64) bool {
+			q := e.seqList[uint32(k)]
+			m := perDoc[q]
+			if m == nil {
+				m = make(map[uint32]uint64)
+				perDoc[q] = m
+			}
+			m[doc] = v
+			return true
+		})
+	}
+
+	switch e.resolveStrategy() {
+	case BottomUp:
+		for doc, seg := range segmentsOf(root) {
+			counter, off, err := e.newCounter(e.seqBound(seg), int64(len(e.seqList)))
+			if err != nil {
+				return nil, errEngine("ranked inverted index", err)
+			}
+			if err := e.addSegmentSeqCounts(seg, counter, off); err != nil {
+				return nil, err
+			}
+			collect(uint32(doc), counter)
+		}
+	default:
+		// Per-file top-down: seed weights from the segment, sweep the
+		// topological order, then scale local tables.
+		topo := e.readTopo()
+		for r := uint32(0); r < e.numRules; r++ {
+			e.meta(r).setWeight(0)
+		}
+		for doc, seg := range segmentsOf(root) {
+			counter, off, err := e.newCounter(e.seqBound(seg), int64(len(e.seqList)))
+			if err != nil {
+				return nil, errEngine("ranked inverted index", err)
+			}
+			for _, s := range seg {
+				if s.IsRule() {
+					m := e.meta(s.RuleIndex())
+					m.setWeight(m.weight() + 1)
+				}
+			}
+			fileWeight := make([]uint64, e.numRules)
+			for _, r := range topo {
+				m := e.meta(r)
+				w := m.weight()
+				if w == 0 {
+					continue
+				}
+				m.setWeight(0)
+				fileWeight[r] = w
+				if e.opts.NoPruning {
+					for _, s := range e.readRawBody(r) {
+						if s.IsRule() {
+							sm := e.meta(s.RuleIndex())
+							sm.setWeight(sm.weight() + w)
+						}
+					}
+					continue
+				}
+				subs, _ := e.readBodyPairs(r)
+				for _, p := range subs {
+					sm := e.meta(p.id)
+					sm.setWeight(sm.weight() + w*uint64(p.freq))
+				}
+			}
+			if err := e.addWeightedLocals(counter, off, func(r uint32) uint64 {
+				return fileWeight[r]
+			}); err != nil {
+				return nil, errEngine("ranked inverted index", err)
+			}
+			if err := e.addSpanningToCounter(seg, counter, off); err != nil {
+				return nil, err
+			}
+			collect(uint32(doc), counter)
+		}
+	}
+
+	out := make(map[analytics.Seq][]analytics.DocFreq, len(perDoc))
+	for q, m := range perDoc {
+		e.meter.Charge(int64(len(m)), metrics.CostSortEntry)
+		out[q] = analytics.RankPostings(m)
+	}
+	if err := e.endTraversal(span, analytics.RankedInvertedIndex, 0); err != nil {
+		return nil, errEngine("ranked inverted index", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,546 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/text-analytics/ntadoc/internal/analytics"
+	"github.com/text-analytics/ntadoc/internal/cfg"
+	"github.com/text-analytics/ntadoc/internal/metrics"
+	"github.com/text-analytics/ntadoc/internal/pstruct"
+)
+
+// beginTraversal opens the graph-traversal phase: traversal-phase scratch
+// from any previous task is released (its checkpointed results are
+// superseded), and the measurement span starts.
+func (e *Engine) beginTraversal() *metrics.Span {
+	_ = e.pool.Truncate(e.initTop)
+	e.travTables = make(map[int64]counterTable)
+	e.travDirty = make(map[int64]bool)
+	if e.oplog != nil {
+		e.oplog.reset(e.pool.Epoch())
+	}
+	return metrics.Start(e.dev, e.meter)
+}
+
+// endTraversal commits the phase: the result table offset and task are
+// recorded, and the pool is checkpointed (phase-level persistence; the
+// operation-level log has already made each mutation durable).
+func (e *Engine) endTraversal(span *metrics.Span, task analytics.Task, resultOff int64) error {
+	for _, tbl := range e.travTables {
+		tbl.SyncLen() // counts ride along with the checkpoint flush below
+	}
+	e.pool.SetRoot(rootResult, resultOff)
+	e.pool.SetRoot(rootTaskID, int64(task))
+	err := e.pool.Checkpoint(phaseTraversal)
+	span.Stop()
+	e.lastTrav = *span
+	return err
+}
+
+// newCounter allocates a bounded result counter over the given key space,
+// registers it for operation-level replay, and (in op-level mode) makes its
+// empty state durable immediately, as a transactional allocator would.
+func (e *Engine) newCounter(bound, keySpace int64) (counterTable, int64, error) {
+	tbl, err := e.newTable(bound, keySpace)
+	if err != nil {
+		return nil, 0, err
+	}
+	off := tbl.Base()
+	if off >= 0 {
+		e.travTables[off] = tbl
+		if e.oplog != nil {
+			// The structure's empty state must be durable at allocation
+			// so its durable image is always consistent: empty until the
+			// first log compaction flushes it, the compacted contents
+			// afterwards.  Replay applies the current-epoch log on top of
+			// whichever is durable.
+			if err := tbl.FlushInit(); err != nil {
+				return nil, 0, err
+			}
+			if err := e.pool.FlushHeader(); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	return tbl, off, nil
+}
+
+// addCount performs one counter mutation under the configured persistence
+// strategy.  Write-ahead ordering matters: the redo record is appended
+// before the table mutation, so a log compaction triggered by the append
+// (which flushes the table) can never capture an effect that the fresh log
+// epoch will replay again.
+func (e *Engine) addCount(tbl counterTable, tblOff int64, key, delta uint64) error {
+	if e.oplog != nil {
+		e.travDirty[tblOff] = true
+		if err := e.oplog.append(e, tblOff, key, delta); err != nil {
+			return err
+		}
+	}
+	if _, err := tbl.Add(key, delta); err != nil {
+		return err
+	}
+	if e.oplog != nil && e.opts.PerOpCommit {
+		// The naive port wraps every mutation in a general-purpose PMDK
+		// transaction; charge its software overhead too.
+		e.meter.Charge(1, metrics.CostTxOverhead)
+		return e.oplog.commit()
+	}
+	return nil
+}
+
+// opCommit fences the redo log after one analytics operation (a rule
+// processed, a file merged): the operation-level persistence boundary.
+func (e *Engine) opCommit() error {
+	if e.oplog == nil {
+		return nil
+	}
+	return e.oplog.commit()
+}
+
+// readBodyPairs reads a pruned body: subCount subrule pairs then wordCount
+// word pairs, decoding the compact frequency-follows encoding after one
+// bulk device read (length prefix, then the pair stream).
+func (e *Engine) readBodyPairs(r uint32) (subs, words []pair) {
+	m := e.meta(r)
+	ns, nw := int64(m.subCount()), int64(m.wordCount())
+	if ns+nw == 0 {
+		return nil, nil
+	}
+	bodyOff := m.bodyOff()
+	hdr := e.pool.AccessorAt(bodyOff, 4)
+	n := int64(hdr.Uint32(0))
+	flat := make([]uint32, n)
+	e.pool.AccessorAt(bodyOff+4, n*4).Uint32s(0, flat)
+	e.meter.Charge(ns+nw, metrics.CostScanToken)
+	subs = make([]pair, ns)
+	words = make([]pair, nw)
+	pos := 0
+	for i := int64(0); i < ns+nw; i++ {
+		id := flat[pos]
+		pos++
+		freq := uint32(1)
+		if id&freqFollows != 0 {
+			id &^= freqFollows
+			freq = flat[pos]
+			pos++
+		}
+		if i < ns {
+			subs[i] = pair{id: id, freq: freq}
+		} else {
+			words[i-ns] = pair{id: id, freq: freq}
+		}
+	}
+	return subs, words
+}
+
+// readRawBody reads an untrimmed body (NoPruning ablation).
+func (e *Engine) readRawBody(r uint32) []cfg.Symbol {
+	m := e.meta(r)
+	n := int64(m.subCount())
+	if n == 0 {
+		return nil
+	}
+	flat := make([]uint32, n)
+	e.pool.AccessorAt(m.bodyOff(), n*4).Uint32s(0, flat)
+	e.meter.Charge(n, metrics.CostScanToken)
+	out := make([]cfg.Symbol, n)
+	for i, v := range flat {
+		out[i] = cfg.Symbol(v)
+	}
+	return out
+}
+
+// readRoot reads the ordered root body.
+func (e *Engine) readRoot() []cfg.Symbol {
+	e.meter.Charge(e.rootLen, metrics.CostScanToken)
+	out := make([]cfg.Symbol, e.rootLen)
+	flat := make([]uint32, e.rootLen)
+	e.rootAcc.Uint32s(8, flat)
+	for i, v := range flat {
+		out[i] = cfg.Symbol(v)
+	}
+	return out
+}
+
+// readTopo reads the topological order.
+func (e *Engine) readTopo() []uint32 {
+	out := make([]uint32, e.numRules)
+	e.topoAcc.Uint32s(0, out)
+	return out
+}
+
+// globalBound returns the result-table bound for corpus-wide word counters:
+// the Algorithm 2 bound clamped by the words that actually occur, which the
+// dictionary pass knows exactly at initialization.
+func (e *Engine) globalBound() int64 {
+	m := e.meta(0)
+	b := tableBound(m.bound(), m.expLen(), e.numWords)
+	if e.distinctWords > 0 && e.distinctWords < b {
+		b = e.distinctWords
+	}
+	return b
+}
+
+// WordCount implements analytics.Engine.
+func (e *Engine) WordCount() (map[uint32]uint64, error) {
+	counts, _, err := e.wordCountTable()
+	if err != nil {
+		return nil, err
+	}
+	return counts, nil
+}
+
+func (e *Engine) wordCountTable() (map[uint32]uint64, *metrics.Span, error) {
+	span := e.beginTraversal()
+	counter, off, err := e.newCounter(e.globalBound(), int64(e.numWords))
+	if err != nil {
+		return nil, nil, errEngine("word count", err)
+	}
+	if err := e.topDownGlobal(counter, off); err != nil {
+		return nil, nil, errEngine("word count", err)
+	}
+	e.meter.Charge(counter.Len(), metrics.CostHashOp)
+	out := make(map[uint32]uint64, counter.Len())
+	counter.Range(func(k, v uint64) bool { out[uint32(k)] = v; return true })
+	if err := e.endTraversal(span, analytics.WordCount, off); err != nil {
+		return nil, nil, errEngine("word count", err)
+	}
+	return out, span, nil
+}
+
+// topDownGlobal propagates rule weights root-down in topological order,
+// using the pool traversal queue (§IV-B, Figure 3), and accumulates
+// weight x frequency for every word into counter.
+func (e *Engine) topDownGlobal(counter counterTable, counterOff int64) error {
+	// Reset weight slots and set the remaining-parents scratch.
+	for r := uint32(0); r < e.numRules; r++ {
+		m := e.meta(r)
+		m.setWeight(0)
+		m.setScratch(uint64(m.inDeg()))
+	}
+	queue, err := pstruct.NewQueue(e.pool, int64(e.numRules))
+	if err != nil {
+		return err
+	}
+	root := e.meta(0)
+	root.setWeight(1)
+	if err := queue.Push(0); err != nil {
+		return err
+	}
+	for queue.Len() > 0 {
+		r, err := queue.Pop()
+		if err != nil {
+			return err
+		}
+		m := e.meta(r)
+		w := m.weight()
+		if e.opts.NoPruning {
+			for _, s := range e.readRawBody(r) {
+				switch {
+				case s.IsWord():
+					if err := e.addCount(counter, counterOff, uint64(s.WordID()), w); err != nil {
+						return err
+					}
+				case s.IsRule():
+					sm := e.meta(s.RuleIndex())
+					sm.setWeight(sm.weight() + w)
+					left := sm.scratch() - 1
+					sm.setScratch(left)
+					if left == 0 {
+						if err := queue.Push(s.RuleIndex()); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			if err := e.opCommit(); err != nil {
+				return err
+			}
+			continue
+		}
+		subs, words := e.readBodyPairs(r)
+		for _, p := range subs {
+			sm := e.meta(p.id)
+			sm.setWeight(sm.weight() + w*uint64(p.freq))
+			left := sm.scratch() - uint64(p.freq)
+			sm.setScratch(left)
+			if left == 0 {
+				if err := queue.Push(p.id); err != nil {
+					return err
+				}
+			}
+		}
+		for _, p := range words {
+			if err := e.addCount(counter, counterOff, uint64(p.id), w*uint64(p.freq)); err != nil {
+				return err
+			}
+		}
+		if err := e.opCommit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sort implements analytics.Engine.
+func (e *Engine) Sort() ([]analytics.WordFreq, error) {
+	span := e.beginTraversal()
+	counter, off, err := e.newCounter(e.globalBound(), int64(e.numWords))
+	if err != nil {
+		return nil, errEngine("sort", err)
+	}
+	if err := e.topDownGlobal(counter, off); err != nil {
+		return nil, errEngine("sort", err)
+	}
+	out := make([]analytics.WordFreq, 0, counter.Len())
+	counter.Range(func(k, v uint64) bool {
+		out = append(out, analytics.WordFreq{Word: uint32(k), Freq: v})
+		return true
+	})
+	e.meter.Charge(int64(len(out)), metrics.CostHashOp+metrics.CostSortEntry)
+	analytics.SortAlphabetical(out, e.d)
+	if err := e.endTraversal(span, analytics.Sort, off); err != nil {
+		return nil, errEngine("sort", err)
+	}
+	return out, nil
+}
+
+// fileWordCounts computes per-file frequencies with the configured
+// traversal strategy, invoking fn with each file's counter before its
+// scratch is released.
+func (e *Engine) fileWordCounts(fn func(doc uint32, counts counterTable)) error {
+	switch e.resolveStrategy() {
+	case BottomUp:
+		return e.fileCountsBottomUp(fn)
+	default:
+		return e.fileCountsTopDown(fn)
+	}
+}
+
+// segmentsOf splits the pool root body at separators.
+func segmentsOf(root []cfg.Symbol) [][]cfg.Symbol {
+	var segs [][]cfg.Symbol
+	start := 0
+	for i, s := range root {
+		if s.IsSep() {
+			segs = append(segs, root[start:i])
+			start = i + 1
+		}
+	}
+	return segs
+}
+
+// segBound computes a file counter's bound from per-rule metadata.
+func (e *Engine) segBound(seg []cfg.Symbol) int64 {
+	var bound, length int64
+	for _, s := range seg {
+		switch {
+		case s.IsWord():
+			bound++
+			length++
+		case s.IsRule():
+			m := e.meta(s.RuleIndex())
+			bound += m.bound()
+			length += m.expLen()
+		}
+	}
+	return tableBound(bound, length, e.numWords)
+}
+
+// fileCountsBottomUp materializes every rule's word list in a bounded pool
+// table (reverse topological order), then merges top-level lists per file:
+// the fast path for many-file corpora.
+func (e *Engine) fileCountsBottomUp(fn func(doc uint32, counts counterTable)) error {
+	topo := e.readTopo()
+	lists := make([]counterTable, e.numRules)
+	listOffs := make([]int64, e.numRules)
+	for i := len(topo) - 1; i >= 0; i-- {
+		r := topo[i]
+		m := e.meta(r)
+		tbl, off, err := e.newCounter(tableBound(m.bound(), m.expLen(), e.numWords), int64(e.numWords))
+		if err != nil {
+			return err
+		}
+		lists[r], listOffs[r] = tbl, off
+		if e.opts.NoPruning {
+			for _, s := range e.readRawBody(r) {
+				switch {
+				case s.IsWord():
+					if err := e.addCount(tbl, off, uint64(s.WordID()), 1); err != nil {
+						return err
+					}
+				case s.IsRule():
+					var mergeErr error
+					lists[s.RuleIndex()].Range(func(k, v uint64) bool {
+						mergeErr = e.addCount(tbl, off, k, v)
+						return mergeErr == nil
+					})
+					if mergeErr != nil {
+						return mergeErr
+					}
+				}
+			}
+			continue
+		}
+		subs, words := e.readBodyPairs(r)
+		for _, p := range words {
+			if err := e.addCount(tbl, off, uint64(p.id), uint64(p.freq)); err != nil {
+				return err
+			}
+		}
+		for _, p := range subs {
+			f := uint64(p.freq)
+			var mergeErr error
+			lists[p.id].Range(func(k, v uint64) bool {
+				mergeErr = e.addCount(tbl, off, k, v*f)
+				return mergeErr == nil
+			})
+			if mergeErr != nil {
+				return mergeErr
+			}
+		}
+		if err := e.opCommit(); err != nil {
+			return err
+		}
+	}
+	root := e.readRoot()
+	for doc, seg := range segmentsOf(root) {
+		counter, off, err := e.newCounter(e.segBound(seg), int64(e.numWords))
+		if err != nil {
+			return err
+		}
+		for _, s := range seg {
+			switch {
+			case s.IsWord():
+				if err := e.addCount(counter, off, uint64(s.WordID()), 1); err != nil {
+					return err
+				}
+			case s.IsRule():
+				var mergeErr error
+				lists[s.RuleIndex()].Range(func(k, v uint64) bool {
+					mergeErr = e.addCount(counter, off, k, v)
+					return mergeErr == nil
+				})
+				if mergeErr != nil {
+					return mergeErr
+				}
+			}
+		}
+		if err := e.opCommit(); err != nil {
+			return err
+		}
+		fn(uint32(doc), counter)
+	}
+	return nil
+}
+
+// fileCountsTopDown traverses the whole DAG once per file: weights of the
+// file's top-level rules propagate down the full topological order.  Cost
+// is O(files x rules) even for tiny files — the §VI-E slow path.
+func (e *Engine) fileCountsTopDown(fn func(doc uint32, counts counterTable)) error {
+	topo := e.readTopo()
+	// Zero all weight slots once; the sweep per file below re-zeroes as it
+	// consumes them.
+	for r := uint32(0); r < e.numRules; r++ {
+		e.meta(r).setWeight(0)
+	}
+	root := e.readRoot()
+	for doc, seg := range segmentsOf(root) {
+		counter, off, err := e.newCounter(e.segBound(seg), int64(e.numWords))
+		if err != nil {
+			return err
+		}
+		for _, s := range seg {
+			switch {
+			case s.IsWord():
+				if err := e.addCount(counter, off, uint64(s.WordID()), 1); err != nil {
+					return err
+				}
+			case s.IsRule():
+				m := e.meta(s.RuleIndex())
+				m.setWeight(m.weight() + 1)
+			}
+		}
+		for _, r := range topo {
+			m := e.meta(r)
+			w := m.weight()
+			if w == 0 {
+				continue
+			}
+			m.setWeight(0)
+			if e.opts.NoPruning {
+				for _, s := range e.readRawBody(r) {
+					switch {
+					case s.IsWord():
+						if err := e.addCount(counter, off, uint64(s.WordID()), w); err != nil {
+							return err
+						}
+					case s.IsRule():
+						sm := e.meta(s.RuleIndex())
+						sm.setWeight(sm.weight() + w)
+					}
+				}
+				continue
+			}
+			subs, words := e.readBodyPairs(r)
+			for _, p := range subs {
+				sm := e.meta(p.id)
+				sm.setWeight(sm.weight() + w*uint64(p.freq))
+			}
+			for _, p := range words {
+				if err := e.addCount(counter, off, uint64(p.id), w*uint64(p.freq)); err != nil {
+					return err
+				}
+			}
+		}
+		if err := e.opCommit(); err != nil {
+			return err
+		}
+		fn(uint32(doc), counter)
+	}
+	return nil
+}
+
+// TermVector implements analytics.Engine.
+func (e *Engine) TermVector(k int) ([][]analytics.WordFreq, error) {
+	span := e.beginTraversal()
+	out := make([][]analytics.WordFreq, e.numFiles)
+	err := e.fileWordCounts(func(doc uint32, counter counterTable) {
+		e.meter.Charge(counter.Len(), metrics.CostHashOp+metrics.CostSortEntry)
+		counts := make(map[uint32]uint64, counter.Len())
+		counter.Range(func(key, v uint64) bool { counts[uint32(key)] = v; return true })
+		out[doc] = analytics.TermVectorOf(counts, k)
+	})
+	if err != nil {
+		return nil, errEngine("term vector", err)
+	}
+	if err := e.endTraversal(span, analytics.TermVector, 0); err != nil {
+		return nil, errEngine("term vector", err)
+	}
+	return out, nil
+}
+
+// InvertedIndex implements analytics.Engine.
+func (e *Engine) InvertedIndex() (map[uint32][]uint32, error) {
+	span := e.beginTraversal()
+	out := make(map[uint32][]uint32)
+	err := e.fileWordCounts(func(doc uint32, counter counterTable) {
+		e.meter.Charge(counter.Len(), metrics.CostHashOp+metrics.CostSortEntry)
+		counter.Range(func(key, _ uint64) bool {
+			out[uint32(key)] = append(out[uint32(key)], doc)
+			return true
+		})
+	})
+	if err != nil {
+		return nil, errEngine("inverted index", err)
+	}
+	for w := range out {
+		s := out[w]
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	if err := e.endTraversal(span, analytics.InvertedIndex, 0); err != nil {
+		return nil, errEngine("inverted index", err)
+	}
+	return out, nil
+}

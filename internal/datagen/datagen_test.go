@@ -1,0 +1,124 @@
+package datagen
+
+import (
+	"testing"
+
+	"github.com/text-analytics/ntadoc/internal/sequitur"
+)
+
+func TestSpecsShapeMatchesPaper(t *testing.T) {
+	// Table I shape: B has by far the most files; D is the largest corpus
+	// with the widest vocabulary; A is the smallest.
+	if !(DatasetB.Files > 100*DatasetC.Files && DatasetB.Files > 100*DatasetA.Files) {
+		t.Error("dataset B must have the many-small-files shape")
+	}
+	if !(DatasetD.TotalTokens() > DatasetC.TotalTokens() &&
+		DatasetC.TotalTokens() > DatasetA.TotalTokens()) {
+		t.Error("size ordering A < C < D violated")
+	}
+	if !(DatasetD.Vocab > DatasetC.Vocab && DatasetC.Vocab > DatasetB.Vocab) {
+		t.Error("vocabulary ordering violated")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := DatasetA.Scaled(0.02)
+	a := spec.Generate()
+	b := spec.Generate()
+	if len(a) != len(b) {
+		t.Fatalf("file counts differ")
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("file %d lengths differ", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("file %d token %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateRespectsSpec(t *testing.T) {
+	spec := DatasetB.Scaled(0.05)
+	files := spec.Generate()
+	if len(files) != spec.Files {
+		t.Fatalf("files = %d, want %d", len(files), spec.Files)
+	}
+	for i, f := range files {
+		if len(f) == 0 {
+			t.Errorf("file %d empty", i)
+		}
+		for _, w := range f {
+			if int(w) >= spec.Vocab {
+				t.Fatalf("token %d beyond vocab %d", w, spec.Vocab)
+			}
+		}
+	}
+}
+
+func TestGenerateWithDictCoversTokens(t *testing.T) {
+	spec := DatasetA.Scaled(0.01)
+	files, d := spec.GenerateWithDict()
+	for _, f := range files {
+		for _, w := range f {
+			if int(w) >= d.Len() {
+				t.Fatalf("token %d beyond dictionary %d", w, d.Len())
+			}
+		}
+	}
+	// Dictionary words must be unique (Intern would have merged dupes and
+	// broken the ID mapping).
+	seen := map[string]bool{}
+	for _, w := range d.Words() {
+		if seen[w] {
+			t.Fatalf("duplicate dictionary word %q", w)
+		}
+		seen[w] = true
+	}
+}
+
+func TestCorporaCompressWell(t *testing.T) {
+	// The generators must produce the redundancy TADOC depends on: the
+	// grammar body must be much smaller than the input.
+	if testing.Short() {
+		t.Skip("compression check on full-scale specs is slow")
+	}
+	// Dataset B needs enough scale that its small files retain shared
+	// boilerplate; at full scale both compress to ~0.3 (measured).
+	for _, spec := range []Spec{DatasetA.Scaled(0.05), DatasetB.Scaled(0.25)} {
+		files := spec.Generate()
+		var total int64
+		for _, f := range files {
+			total += int64(len(f))
+		}
+		g, err := sequitur.Infer(files, uint32(spec.Vocab))
+		if err != nil {
+			t.Fatalf("%s: Infer: %v", spec.Name, err)
+		}
+		st := g.ComputeStats()
+		if st.Expanded != total {
+			t.Errorf("%s: expanded %d != input %d", spec.Name, st.Expanded, total)
+		}
+		ratio := float64(st.BodySymbols) / float64(total)
+		if ratio > 0.6 {
+			t.Errorf("%s: weak compression: body/input = %.2f", spec.Name, ratio)
+		}
+	}
+}
+
+func TestScaledBounds(t *testing.T) {
+	s := DatasetD.Scaled(0.001)
+	if s.Files < 1 || s.TokensPer < 16 || s.Vocab < 64 {
+		t.Errorf("scaled spec below minimums: %+v", s)
+	}
+	same := DatasetD.Scaled(0)
+	if same != DatasetD {
+		t.Errorf("invalid factor must return the original spec")
+	}
+	same = DatasetD.Scaled(2)
+	if same != DatasetD {
+		t.Errorf("factor > 1 must return the original spec")
+	}
+}

@@ -1,0 +1,182 @@
+// Package dict implements the dictionary conversion TADOC applies before
+// grammar inference: input text is tokenized into words and each distinct
+// word is assigned a dense uint32 ID.  The grammar, the DAG pool, and every
+// analytics task then operate on IDs; the dictionary maps results back to
+// words at output time (e.g. for the sort task's alphabetical order).
+package dict
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// ErrCorrupt reports a dictionary that fails deserialization checks.
+var ErrCorrupt = errors.New("dict: corrupt dictionary")
+
+// Dictionary maps words to dense IDs and back.  IDs are assigned in first-
+// appearance order starting at zero.  The zero value is ready to use.
+type Dictionary struct {
+	words []string
+	index map[string]uint32
+}
+
+// New returns an empty dictionary.
+func New() *Dictionary {
+	return &Dictionary{index: make(map[string]uint32)}
+}
+
+// Len returns the number of distinct words (the vocabulary size).
+func (d *Dictionary) Len() int { return len(d.words) }
+
+// Intern returns the ID for word, assigning the next free ID on first sight.
+func (d *Dictionary) Intern(word string) uint32 {
+	if d.index == nil {
+		d.index = make(map[string]uint32)
+	}
+	if id, ok := d.index[word]; ok {
+		return id
+	}
+	id := uint32(len(d.words))
+	d.words = append(d.words, word)
+	d.index[word] = id
+	return id
+}
+
+// Lookup returns the ID for word without interning.
+func (d *Dictionary) Lookup(word string) (uint32, bool) {
+	id, ok := d.index[word]
+	return id, ok
+}
+
+// Word returns the word for id.  It panics on an unknown ID, which indicates
+// a corrupted grammar rather than a recoverable condition.
+func (d *Dictionary) Word(id uint32) string {
+	if int(id) >= len(d.words) {
+		panic(fmt.Sprintf("dict: unknown word id %d (vocabulary %d)", id, len(d.words)))
+	}
+	return d.words[id]
+}
+
+// Words returns the vocabulary in ID order.  The returned slice is shared;
+// callers must not modify it.
+func (d *Dictionary) Words() []string { return d.words }
+
+// WriteTo serializes the dictionary: header, word count, length-prefixed
+// words, trailing CRC of everything before it.
+func (d *Dictionary) WriteTo(w io.Writer) (int64, error) {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+	var n int64
+	write := func(p []byte) error {
+		m, err := bw.Write(p)
+		n += int64(m)
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	if err := write([]byte("NTDCDICT")); err != nil {
+		return n, err
+	}
+	if err := write(buf[:binary.PutUvarint(buf[:], uint64(len(d.words)))]); err != nil {
+		return n, err
+	}
+	for _, w := range d.words {
+		if err := write(buf[:binary.PutUvarint(buf[:], uint64(len(w)))]); err != nil {
+			return n, err
+		}
+		if err := write([]byte(w)); err != nil {
+			return n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc.Sum32())
+	m, err := w.Write(crcBuf[:])
+	return n + int64(m), err
+}
+
+// ReadFrom deserializes a dictionary written by WriteTo, replacing the
+// receiver's contents.  Integrity is verified by recomputing the body
+// checksum from the parsed words and comparing it with the trailer.
+func (d *Dictionary) ReadFrom(r io.Reader) (int64, error) {
+	cr := &countReader{r: r}
+	br := bufio.NewReader(cr)
+
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return cr.n, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	if string(hdr[:]) != "NTDCDICT" {
+		return cr.n, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:])
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return cr.n, fmt.Errorf("%w: count: %v", ErrCorrupt, err)
+	}
+	if count > 1<<31 {
+		return cr.n, fmt.Errorf("%w: absurd word count %d", ErrCorrupt, count)
+	}
+	// count is untrusted: grow as parsing succeeds instead of preallocating.
+	prealloc := count
+	if prealloc > 4096 {
+		prealloc = 4096
+	}
+	words := make([]string, 0, prealloc)
+	index := make(map[string]uint32, prealloc)
+	for i := uint64(0); i < count; i++ {
+		ln, err := binary.ReadUvarint(br)
+		if err != nil {
+			return cr.n, fmt.Errorf("%w: word %d length: %v", ErrCorrupt, i, err)
+		}
+		if ln > 1<<20 {
+			return cr.n, fmt.Errorf("%w: absurd word length %d", ErrCorrupt, ln)
+		}
+		wb := make([]byte, ln)
+		if _, err := io.ReadFull(br, wb); err != nil {
+			return cr.n, fmt.Errorf("%w: word %d: %v", ErrCorrupt, i, err)
+		}
+		w := string(wb)
+		index[w] = uint32(len(words))
+		words = append(words, w)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+		return cr.n, fmt.Errorf("%w: crc: %v", ErrCorrupt, err)
+	}
+	tmp := &Dictionary{words: words, index: index}
+	if got := binary.LittleEndian.Uint32(crcBuf[:]); got != tmp.checksum() {
+		return cr.n, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	d.words = words
+	d.index = index
+	return cr.n, nil
+}
+
+// checksum computes the CRC of the serialized body, matching WriteTo.
+func (d *Dictionary) checksum() uint32 {
+	crc := crc32.NewIEEE()
+	var buf [binary.MaxVarintLen64]byte
+	crc.Write([]byte("NTDCDICT"))
+	crc.Write(buf[:binary.PutUvarint(buf[:], uint64(len(d.words)))])
+	for _, w := range d.words {
+		crc.Write(buf[:binary.PutUvarint(buf[:], uint64(len(w)))])
+		crc.Write([]byte(w))
+	}
+	return crc.Sum32()
+}
+
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,71 @@
+package dict
+
+import (
+	"bufio"
+	"io"
+	"strings"
+	"unicode"
+)
+
+// Tokenizer splits text into the words TADOC compresses.  The default
+// configuration matches the paper's benchmarks: whitespace-delimited tokens,
+// lowercased, with leading/trailing punctuation stripped so "word," and
+// "word" count as the same term.
+type Tokenizer struct {
+	// KeepCase disables lowercasing.
+	KeepCase bool
+	// KeepPunct disables stripping of leading/trailing punctuation.
+	KeepPunct bool
+}
+
+// Normalize applies the tokenizer's normalization to one raw token.  It
+// returns "" when the token normalizes to nothing (e.g. pure punctuation).
+func (t Tokenizer) Normalize(tok string) string {
+	if !t.KeepPunct {
+		tok = strings.TrimFunc(tok, func(r rune) bool {
+			return unicode.IsPunct(r) || unicode.IsSymbol(r)
+		})
+	}
+	if !t.KeepCase {
+		tok = strings.ToLower(tok)
+	}
+	return tok
+}
+
+// Split tokenizes s in memory.
+func (t Tokenizer) Split(s string) []string {
+	fields := strings.Fields(s)
+	out := fields[:0]
+	for _, f := range fields {
+		if n := t.Normalize(f); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Encode tokenizes r and interns every token into d, returning the ID
+// stream.  It streams, so arbitrarily large inputs use constant memory
+// beyond the output slice.
+func (t Tokenizer) Encode(d *Dictionary, r io.Reader) ([]uint32, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	sc.Split(bufio.ScanWords)
+	var ids []uint32
+	for sc.Scan() {
+		if n := t.Normalize(sc.Text()); n != "" {
+			ids = append(ids, d.Intern(n))
+		}
+	}
+	return ids, sc.Err()
+}
+
+// EncodeString is Encode over an in-memory string.
+func (t Tokenizer) EncodeString(d *Dictionary, s string) []uint32 {
+	toks := t.Split(s)
+	ids := make([]uint32, len(toks))
+	for i, tok := range toks {
+		ids[i] = d.Intern(tok)
+	}
+	return ids
+}

@@ -1,0 +1,262 @@
+// Package harness runs the paper's experiments: it builds (and caches) the
+// synthetic corpora and their grammars, runs each task on each engine
+// configuration, and reports paired wall/modeled timings plus memory
+// accounting.  bench_test.go and cmd/benchfig are thin wrappers over it.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"github.com/text-analytics/ntadoc/internal/analytics"
+	"github.com/text-analytics/ntadoc/internal/cfg"
+	"github.com/text-analytics/ntadoc/internal/core"
+	"github.com/text-analytics/ntadoc/internal/datagen"
+	"github.com/text-analytics/ntadoc/internal/dict"
+	"github.com/text-analytics/ntadoc/internal/metrics"
+	"github.com/text-analytics/ntadoc/internal/nvm"
+	"github.com/text-analytics/ntadoc/internal/sequitur"
+	"github.com/text-analytics/ntadoc/internal/tadoc"
+	"github.com/text-analytics/ntadoc/internal/uncomp"
+)
+
+// Corpus is a generated dataset with its grammar, cached across runs.
+type Corpus struct {
+	Spec            datagen.Spec
+	Files           [][]uint32
+	Dict            *dict.Dictionary
+	G               *cfg.Grammar
+	Bytes           int64 // uncompressed token bytes
+	CompressedBytes int64 // serialized grammar size (the on-disk input)
+}
+
+var (
+	corpusMu    sync.Mutex
+	corpusCache = map[string]*Corpus{}
+)
+
+// GetCorpus builds (or returns the cached) corpus for a spec.
+func GetCorpus(spec datagen.Spec) (*Corpus, error) {
+	key := fmt.Sprintf("%s/%d/%d/%d", spec.Name, spec.Files, spec.TokensPer, spec.Vocab)
+	corpusMu.Lock()
+	defer corpusMu.Unlock()
+	if c, ok := corpusCache[key]; ok {
+		return c, nil
+	}
+	files, d := spec.GenerateWithDict()
+	g, err := sequitur.Infer(files, uint32(d.Len()))
+	if err != nil {
+		return nil, fmt.Errorf("harness: infer %s: %w", spec.Name, err)
+	}
+	var bytes int64
+	for _, f := range files {
+		bytes += int64(len(f)) * 4
+	}
+	var cw countWriter
+	if _, err := g.WriteTo(&cw); err != nil {
+		return nil, err
+	}
+	c := &Corpus{Spec: spec, Files: files, Dict: d, G: g, Bytes: bytes, CompressedBytes: cw.n}
+	corpusCache[key] = c
+	return c, nil
+}
+
+// countWriter measures serialized size without storing it.
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// diskReadNanos models the initialization-time cost of reading the input
+// from disk, which the paper's methodology includes ("all datasets are
+// assumed to be stored on disk and the time measurement includes IO").  The
+// baseline reads the full text; the compressed engines read the much
+// smaller grammar file.  Sequential SSD read at the SSD model's block rate.
+func diskReadNanos(bytes int64) time.Duration {
+	blocks := (bytes + 4095) / 4096
+	return time.Duration(blocks * nvm.SSDModel.ReadNanos)
+}
+
+// Result is one measured (engine, dataset, task) cell.
+type Result struct {
+	Engine  string
+	Dataset string
+	Task    analytics.Task
+
+	Init      time.Duration // initialization phase total (wall + modeled)
+	Traversal time.Duration // graph traversal phase total
+	Total     time.Duration
+
+	InitWall, TravWall       time.Duration
+	InitModeled, TravModeled time.Duration
+
+	DRAMBytes int64
+	NVMBytes  int64
+	Device    nvm.Stats
+}
+
+// Speedup returns how many times faster r is than other (total time).
+func (r Result) Speedup(other Result) float64 {
+	if r.Total <= 0 {
+		return 0
+	}
+	return float64(other.Total) / float64(r.Total)
+}
+
+// RunNTADOC builds an N-TADOC engine for the corpus and runs one task.
+// Sequence preprocessing is enabled only for sequence tasks, so each task
+// pays its own initialization cost, as in Table II.
+func RunNTADOC(c *Corpus, task analytics.Task, opts core.Options) (Result, error) {
+	opts.Sequences = task == analytics.SequenceCount || task == analytics.RankedInvertedIndex
+	if opts.Model == nil && (opts.Kind == nvm.KindSSD || opts.Kind == nvm.KindHDD) {
+		// The paper caps the page cache at 20% of the uncompressed dataset
+		// ("memory budget").  At the paper's multi-GB scale that budget is
+		// always a small multiple of the compressed working set (their
+		// compression ratio is ~10x); our scaled corpora carry
+		// proportionally larger fixed structure overheads, so we preserve
+		// the budget-to-working-set relation: the cache is the larger of
+		// 20% of the raw data and 1.5x the estimated pool.
+		budget := c.Bytes / 5
+		if est, err := core.PoolEstimate(c.G, opts); err == nil && est+est/2 > budget {
+			budget = est + est/2
+		}
+		m := nvm.ModelFor(opts.Kind).WithCacheBytes(budget)
+		opts.Model = &m
+	}
+	eng, err := core.New(c.G, c.Dict, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	defer eng.Close()
+	if err := analytics.Run(eng, task); err != nil {
+		return Result{}, err
+	}
+	init, trav := eng.InitSpan(), eng.LastTraversalSpan()
+	diskIO := diskReadNanos(c.CompressedBytes)
+	return Result{
+		Engine:      "N-TADOC/" + opts.Kind.String() + "/" + opts.Persistence.String(),
+		Dataset:     c.Spec.Name,
+		Task:        task,
+		Init:        init.Total() + diskIO,
+		Traversal:   trav.Total(),
+		Total:       init.Total() + diskIO + trav.Total(),
+		InitWall:    init.Wall,
+		TravWall:    trav.Wall,
+		InitModeled: init.Modeled() + diskIO,
+		TravModeled: trav.Modeled(),
+		DRAMBytes:   eng.DRAMBytes(),
+		NVMBytes:    eng.NVMBytes(),
+		Device:      eng.Device().Stats(),
+	}, nil
+}
+
+// RunUncompressed loads the raw tokens onto a device of the given kind and
+// runs one task: the paper's baseline.
+func RunUncompressed(c *Corpus, task analytics.Task, kind nvm.Kind) (Result, error) {
+	model := nvm.ModelFor(kind)
+	if kind == nvm.KindSSD || kind == nvm.KindHDD {
+		model = model.WithCacheBytes(c.Bytes / 5)
+	}
+	dev := nvm.NewWithModel(kind, uncomp.RequiredSize(c.Files)+4096, model)
+	defer dev.Close()
+
+	// The meter lives on the engine; the init span attaches after Load.
+	initWall := metrics.Start(nil, nil)
+	eng, err := uncomp.Load(dev, c.Dict, c.Files)
+	if err != nil {
+		return Result{}, err
+	}
+	initWall.Stop()
+	initSpan := &metrics.Span{
+		Wall:     initWall.Wall,
+		Device:   dev.Stats(),
+		CPUNanos: eng.Meter().Nanos(),
+	}
+
+	travSpan := metrics.Start(dev, eng.Meter())
+	if err := analytics.Run(eng, task); err != nil {
+		return Result{}, err
+	}
+	travSpan.Stop()
+
+	// The baseline's intermediate results live in DRAM: estimate them by
+	// the task's footprint over the raw corpus.
+	dram := c.Bytes / 4 * 12 // rough map-entry footprint per token type
+	diskIO := diskReadNanos(c.Bytes)
+	return Result{
+		Engine:      "uncompressed/" + kind.String(),
+		Dataset:     c.Spec.Name,
+		Task:        task,
+		Init:        initSpan.Total() + diskIO,
+		Traversal:   travSpan.Total(),
+		Total:       initSpan.Total() + diskIO + travSpan.Total(),
+		InitWall:    initSpan.Wall,
+		TravWall:    travSpan.Wall,
+		InitModeled: initSpan.Modeled() + diskIO,
+		TravModeled: travSpan.Modeled(),
+		DRAMBytes:   dram,
+		Device:      dev.Stats(),
+	}, nil
+}
+
+// RunTADOC runs one task on the DRAM TADOC engine: the theoretical upper
+// bound (Fig 6).  The grammar and all intermediates live in DRAM; modeled
+// device time is zero, so Total is pure wall time.
+func RunTADOC(c *Corpus, task analytics.Task, strategy tadoc.Strategy) (Result, error) {
+	initSpan := metrics.Start(nil, nil)
+	eng, err := tadoc.New(c.G, c.Dict, strategy)
+	if err != nil {
+		return Result{}, err
+	}
+	initSpan.Stop()
+	// The corpus cache hands the engine a parsed grammar; charge the
+	// deserialization and DRAM DAG construction the paper's TADOC performs
+	// at initialization (decode every body symbol, allocate rule nodes).
+	var bodySyms int64
+	for _, body := range c.G.Rules {
+		bodySyms += int64(len(body))
+	}
+	eng.Meter().Charge(bodySyms, metrics.CostScanToken+metrics.CostHashOp)
+	initSpan.CPUNanos += eng.Meter().Nanos()
+
+	travSpan := metrics.Start(nil, eng.Meter())
+	if err := analytics.Run(eng, task); err != nil {
+		return Result{}, err
+	}
+	travSpan.Stop()
+	diskIO := diskReadNanos(c.CompressedBytes)
+	return Result{
+		Engine:    "TADOC/DRAM",
+		Dataset:   c.Spec.Name,
+		Task:      task,
+		Init:      initSpan.Total() + diskIO,
+		Traversal: travSpan.Total(),
+		Total:     initSpan.Total() + diskIO + travSpan.Total(),
+		InitWall:  initSpan.Wall,
+		TravWall:  travSpan.Wall,
+		DRAMBytes: eng.DRAMBytes(),
+	}, nil
+}
+
+// GeoMean returns the geometric mean of positive ratios.
+func GeoMean(ratios []float64) float64 {
+	if len(ratios) == 0 {
+		return 0
+	}
+	var logSum float64
+	n := 0
+	for _, r := range ratios {
+		if r > 0 {
+			logSum += math.Log(r)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}

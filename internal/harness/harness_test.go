@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"github.com/text-analytics/ntadoc/internal/analytics"
+	"github.com/text-analytics/ntadoc/internal/core"
+	"github.com/text-analytics/ntadoc/internal/datagen"
+	"github.com/text-analytics/ntadoc/internal/nvm"
+	"github.com/text-analytics/ntadoc/internal/tadoc"
+)
+
+func tinySpec() datagen.Spec {
+	return datagen.DatasetA.Scaled(0.05)
+}
+
+func TestGetCorpusCachesAndValidates(t *testing.T) {
+	c1, err := GetCorpus(tinySpec())
+	if err != nil {
+		t.Fatalf("GetCorpus: %v", err)
+	}
+	c2, err := GetCorpus(tinySpec())
+	if err != nil {
+		t.Fatalf("GetCorpus: %v", err)
+	}
+	if c1 != c2 {
+		t.Error("corpus not cached")
+	}
+	if c1.Bytes <= 0 || c1.CompressedBytes <= 0 {
+		t.Errorf("sizes = %d, %d", c1.Bytes, c1.CompressedBytes)
+	}
+	if c1.CompressedBytes >= c1.Bytes {
+		t.Errorf("compressed %d not smaller than raw %d", c1.CompressedBytes, c1.Bytes)
+	}
+	if err := c1.G.Validate(); err != nil {
+		t.Errorf("cached grammar invalid: %v", err)
+	}
+}
+
+func TestRunnersAgreeOnResultsShape(t *testing.T) {
+	c, err := GetCorpus(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range []analytics.Task{analytics.WordCount, analytics.SequenceCount} {
+		nt, err := RunNTADOC(c, task, core.Options{})
+		if err != nil {
+			t.Fatalf("RunNTADOC(%v): %v", task, err)
+		}
+		un, err := RunUncompressed(c, task, nvm.KindNVM)
+		if err != nil {
+			t.Fatalf("RunUncompressed(%v): %v", task, err)
+		}
+		td, err := RunTADOC(c, task, tadoc.Auto)
+		if err != nil {
+			t.Fatalf("RunTADOC(%v): %v", task, err)
+		}
+		for _, r := range []Result{nt, un, td} {
+			if r.Total <= 0 {
+				t.Errorf("%s %v: nonpositive total %v", r.Engine, task, r.Total)
+			}
+			if r.Total != r.Init+r.Traversal {
+				t.Errorf("%s %v: total %v != init %v + traversal %v",
+					r.Engine, task, r.Total, r.Init, r.Traversal)
+			}
+		}
+		if nt.NVMBytes <= 0 {
+			t.Error("N-TADOC reported no NVM residency")
+		}
+		if td.DRAMBytes <= 0 {
+			t.Error("TADOC reported no DRAM residency")
+		}
+	}
+}
+
+func TestSpeedupArithmetic(t *testing.T) {
+	a := Result{Total: 100}
+	b := Result{Total: 200}
+	if got := a.Speedup(b); got != 2 {
+		t.Errorf("Speedup = %f", got)
+	}
+	if got := (Result{}).Speedup(b); got != 0 {
+		t.Errorf("zero-total speedup = %f", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("empty = %f", got)
+	}
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean(2,8) = %f", got)
+	}
+	if got := GeoMean([]float64{-1, 0}); got != 0 {
+		t.Errorf("nonpositive-only = %f", got)
+	}
+	if got := GeoMean([]float64{-1, 4}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("mixed = %f", got)
+	}
+}
+
+func TestBlockDeviceBudget(t *testing.T) {
+	c, err := GetCorpus(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SSD and HDD runs must complete and be slower than NVM.
+	nt, err := RunNTADOC(c, analytics.WordCount, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssd, err := RunNTADOC(c, analytics.WordCount, core.Options{Kind: nvm.KindSSD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdd, err := RunNTADOC(c, analytics.WordCount, core.Options{Kind: nvm.KindHDD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(nt.Total < ssd.Total && ssd.Total < hdd.Total) {
+		t.Errorf("media ordering violated: nvm=%v ssd=%v hdd=%v",
+			nt.Total, ssd.Total, hdd.Total)
+	}
+}
+
+func TestDiskReadNanosScalesWithBytes(t *testing.T) {
+	small := diskReadNanos(4096)
+	big := diskReadNanos(40960)
+	if !(small > 0 && big >= 9*small) {
+		t.Errorf("diskReadNanos: 4K=%v 40K=%v", small, big)
+	}
+}

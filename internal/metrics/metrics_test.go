@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/text-analytics/ntadoc/internal/nvm"
+)
+
+func TestPhaseString(t *testing.T) {
+	if PhaseInit.String() != "initialization" {
+		t.Errorf("PhaseInit = %q", PhaseInit)
+	}
+	if PhaseTraversal.String() != "graph traversal" {
+		t.Errorf("PhaseTraversal = %q", PhaseTraversal)
+	}
+	if Phase(0).String() != "unknown" {
+		t.Errorf("Phase(0) = %q", Phase(0))
+	}
+}
+
+func TestMeterCharge(t *testing.T) {
+	var m Meter
+	m.Charge(10, 25)
+	m.Charge(0, 100)  // no-op
+	m.Charge(-5, 100) // no-op
+	if got := m.Nanos(); got != 250 {
+		t.Errorf("Nanos = %d, want 250", got)
+	}
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	var m Meter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Charge(1, 3)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Nanos(); got != 8*1000*3 {
+		t.Errorf("Nanos = %d", got)
+	}
+}
+
+func TestSpanCapturesDeviceAndCPU(t *testing.T) {
+	dev := nvm.New(nvm.KindNVM, 4096)
+	defer dev.Close()
+	var m Meter
+
+	// Pre-existing activity must not leak into the span.
+	buf := make([]byte, 256)
+	dev.ReadAt(buf, 0)
+	m.Charge(100, 10)
+
+	s := Start(dev, &m)
+	dev.WriteAt(buf, 0)
+	m.Charge(5, 20)
+	s.Stop()
+
+	if s.Device.Writes != 1 || s.Device.Reads != 0 {
+		t.Errorf("device delta = %+v", s.Device)
+	}
+	if s.CPUNanos != 100 {
+		t.Errorf("CPU delta = %d, want 100", s.CPUNanos)
+	}
+	if s.Wall <= 0 {
+		t.Error("wall not measured")
+	}
+	if s.Total() != s.Modeled()+s.CPU() {
+		t.Error("Total != Modeled + CPU")
+	}
+}
+
+func TestSpanNilSources(t *testing.T) {
+	s := Start(nil, nil)
+	time.Sleep(time.Millisecond)
+	s.Stop()
+	if s.Wall <= 0 {
+		t.Error("wall not measured")
+	}
+	if s.Total() != 0 {
+		t.Errorf("Total = %v, want 0 (no modeled sources)", s.Total())
+	}
+}
+
+func TestBreakdownTotal(t *testing.T) {
+	b := Breakdown{
+		Init:      Span{CPUNanos: 100},
+		Traversal: Span{CPUNanos: 50},
+	}
+	if b.Total() != 150 {
+		t.Errorf("Total = %v", b.Total())
+	}
+}
+
+func TestMemEstimates(t *testing.T) {
+	if MapBytes(10, 4, 8) != 10*(4+8+48) {
+		t.Errorf("MapBytes = %d", MapBytes(10, 4, 8))
+	}
+	if SliceBytes(7, 8) != 56 {
+		t.Errorf("SliceBytes = %d", SliceBytes(7, 8))
+	}
+	if StringsBytes(2, 100) != 2*16+100 {
+		t.Errorf("StringsBytes = %d", StringsBytes(2, 100))
+	}
+}

@@ -1,0 +1,139 @@
+package nvm
+
+import "encoding/binary"
+
+// Accessor provides typed little-endian access to a device region.  It is the
+// load/store layer every higher-level structure (pools, vectors, hash tables)
+// goes through, so all of their traffic is visible to the cost model.
+//
+// Accessor methods panic on out-of-range access: region bounds are computed
+// by allocators, so a violation is a program bug, not an I/O condition —
+// the same stance the standard library takes for slice indexing.
+type Accessor struct {
+	dev  Device
+	base int64
+	size int64
+}
+
+// NewAccessor returns an accessor for the n bytes of dev starting at base.
+func NewAccessor(dev Device, base, n int64) Accessor {
+	if base < 0 || n < 0 || base+n > dev.Size() {
+		panic("nvm: accessor out of device range")
+	}
+	return Accessor{dev: dev, base: base, size: n}
+}
+
+// Device returns the underlying device.
+func (a Accessor) Device() Device { return a.dev }
+
+// Base returns the region's absolute device offset.
+func (a Accessor) Base() int64 { return a.base }
+
+// Size returns the region length in bytes.
+func (a Accessor) Size() int64 { return a.size }
+
+// Slice returns an accessor for the sub-region [off, off+n).
+func (a Accessor) Slice(off, n int64) Accessor {
+	if off < 0 || n < 0 || off+n > a.size {
+		panic("nvm: slice out of region range")
+	}
+	return Accessor{dev: a.dev, base: a.base + off, size: n}
+}
+
+func (a Accessor) must(err error) {
+	if err != nil {
+		panic("nvm: " + err.Error())
+	}
+}
+
+// ReadBytes copies len(p) bytes at region offset off into p.
+func (a Accessor) ReadBytes(off int64, p []byte) {
+	a.check(off, int64(len(p)))
+	_, err := a.dev.ReadAt(p, a.base+off)
+	a.must(err)
+}
+
+// WriteBytes copies p to region offset off.
+func (a Accessor) WriteBytes(off int64, p []byte) {
+	a.check(off, int64(len(p)))
+	_, err := a.dev.WriteAt(p, a.base+off)
+	a.must(err)
+}
+
+// Uint32 reads a little-endian uint32 at off.
+func (a Accessor) Uint32(off int64) uint32 {
+	var b [4]byte
+	a.ReadBytes(off, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// PutUint32 writes v at off.
+func (a Accessor) PutUint32(off int64, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	a.WriteBytes(off, b[:])
+}
+
+// Uint64 reads a little-endian uint64 at off.
+func (a Accessor) Uint64(off int64) uint64 {
+	var b [8]byte
+	a.ReadBytes(off, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// PutUint64 writes v at off.
+func (a Accessor) PutUint64(off int64, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	a.WriteBytes(off, b[:])
+}
+
+// Byte reads the byte at off.
+func (a Accessor) Byte(off int64) byte {
+	var b [1]byte
+	a.ReadBytes(off, b[:])
+	return b[0]
+}
+
+// PutByte writes v at off.
+func (a Accessor) PutByte(off int64, v byte) {
+	b := [1]byte{v}
+	a.WriteBytes(off, b[:])
+}
+
+// Uint32s reads n little-endian uint32 values starting at off into dst,
+// which must have length >= n.  It issues one device read, so sequential
+// layouts pay sequential cost.
+func (a Accessor) Uint32s(off int64, dst []uint32) {
+	n := int64(len(dst)) * 4
+	buf := make([]byte, n)
+	a.ReadBytes(off, buf)
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint32(buf[i*4:])
+	}
+}
+
+// PutUint32s writes src as consecutive little-endian uint32 values at off in
+// one device write.
+func (a Accessor) PutUint32s(off int64, src []uint32) {
+	buf := make([]byte, len(src)*4)
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(buf[i*4:], v)
+	}
+	a.WriteBytes(off, buf)
+}
+
+// Flush persists the byte range [off, off+n) of the region.
+func (a Accessor) Flush(off, n int64) error {
+	a.check(off, n)
+	return a.dev.Flush(a.base+off, n)
+}
+
+// FlushAll persists the whole region.
+func (a Accessor) FlushAll() error { return a.dev.Flush(a.base, a.size) }
+
+func (a Accessor) check(off, n int64) {
+	if off < 0 || n < 0 || off+n > a.size {
+		panic("nvm: access out of region range")
+	}
+}

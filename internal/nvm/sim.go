@@ -1,0 +1,311 @@
+package nvm
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// SimDevice is the concrete simulated device behind every Kind.  It keeps the
+// device contents in an ordinary byte buffer (the "volatile image"), charges
+// modeled cost per access through a simulated device cache, and — for
+// persistent kinds — maintains a durable image that is only updated by
+// Flush/Drain.  Discarding the volatile image and reloading the durable one
+// (Crash) reproduces power-failure semantics exactly: writes that were not
+// flushed are lost.
+type SimDevice struct {
+	kind  Kind
+	model CostModel
+	cache *deviceCache
+	buf   []byte // volatile image
+
+	mu      sync.Mutex // guards durable store and closed flag
+	store   durableStore
+	closed  bool
+	lastBlk atomic.Int64 // previously accessed block, for HDD seek modeling
+
+	// failAfterFlushes, when >= 0, makes flush number n (0-based, counted
+	// from arming) and all later ones fail with ErrFailPoint.  Used by
+	// crash-injection tests.
+	failAfterFlushes atomic.Int64
+
+	counters
+}
+
+var _ Device = (*SimDevice)(nil)
+
+// durableStore is where flushed data survives a crash.
+type durableStore interface {
+	persist(off int64, src []byte) error
+	sync() error
+	load(dst []byte) error
+	close() error
+}
+
+// memStore keeps the durable image in a shadow buffer: fast, used by tests
+// and benchmarks.
+type memStore struct{ img []byte }
+
+func (s *memStore) persist(off int64, src []byte) error {
+	copy(s.img[off:], src)
+	return nil
+}
+func (s *memStore) sync() error           { return nil }
+func (s *memStore) load(dst []byte) error { copy(dst, s.img); return nil }
+func (s *memStore) close() error          { return nil }
+
+// fileStore keeps the durable image in an ordinary file, giving real
+// cross-process durability for the CLI tools.
+type fileStore struct{ f *os.File }
+
+func (s *fileStore) persist(off int64, src []byte) error {
+	_, err := s.f.WriteAt(src, off)
+	return err
+}
+func (s *fileStore) sync() error { return s.f.Sync() }
+func (s *fileStore) load(dst []byte) error {
+	_, err := s.f.ReadAt(dst, 0)
+	return err
+}
+func (s *fileStore) close() error { return s.f.Close() }
+
+// New creates an in-memory simulated device of the given kind and size using
+// the kind's default cost model.
+func New(kind Kind, size int64) *SimDevice {
+	return NewWithModel(kind, size, ModelFor(kind))
+}
+
+// NewWithModel creates an in-memory simulated device with an explicit cost
+// model (used by ablations and by block devices under a page-cache budget).
+func NewWithModel(kind Kind, size int64, model CostModel) *SimDevice {
+	d := &SimDevice{
+		kind:  kind,
+		model: model,
+		buf:   make([]byte, size),
+	}
+	if model.CacheBytes > 0 {
+		d.cache = newDeviceCache(model.CacheBytes, model.Granule, model.CacheWays)
+	}
+	if kind.Persistent() {
+		d.store = &memStore{img: make([]byte, size)}
+	}
+	d.failAfterFlushes.Store(-1)
+	d.lastBlk.Store(-1)
+	return d
+}
+
+// Open creates (or reopens) a file-backed simulated device at path.  If the
+// file exists its contents become the durable and volatile images; otherwise
+// it is created zero-filled at the given size.  DRAM kind rejects file
+// backing, since DRAM does not persist.
+func Open(kind Kind, path string, size int64) (*SimDevice, error) {
+	if kind == KindDRAM {
+		return nil, fmt.Errorf("nvm: DRAM device cannot be file-backed")
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("nvm: open %s: %w", path, err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("nvm: stat %s: %w", path, err)
+	}
+	if fi.Size() == 0 {
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("nvm: size %s: %w", path, err)
+		}
+	} else {
+		size = fi.Size()
+	}
+	d := NewWithModel(kind, size, ModelFor(kind))
+	d.store = &fileStore{f: f}
+	if err := d.store.load(d.buf); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("nvm: load %s: %w", path, err)
+	}
+	return d, nil
+}
+
+// Kind implements Device.
+func (d *SimDevice) Kind() Kind { return d.kind }
+
+// Size implements Device.
+func (d *SimDevice) Size() int64 { return int64(len(d.buf)) }
+
+// Model returns the device's cost model.
+func (d *SimDevice) Model() CostModel { return d.model }
+
+// Stats implements Device.
+func (d *SimDevice) Stats() Stats { return d.counters.snapshot() }
+
+// ResetStats implements Device.
+func (d *SimDevice) ResetStats() { d.counters.reset() }
+
+// charge walks the granules of [off, off+n) through the device cache and
+// accumulates modeled cost.  missNanos is the per-granule media cost for
+// this access direction.
+func (d *SimDevice) charge(off, n, missNanos int64, isWrite bool) {
+	g := d.model.Granule
+	first := off / g
+	last := (off + n - 1) / g
+	var cost int64
+	for gr := first; gr <= last; gr++ {
+		hit := false
+		if d.cache != nil {
+			hit = d.cache.access(gr)
+		}
+		if hit {
+			cost += d.model.HitNanos
+			d.cacheHits.Add(1)
+		} else {
+			cost += missNanos
+			d.cacheMisses.Add(1)
+			if d.model.SeekNanos > 0 && !isWrite {
+				// Block devices pay a seek when the read stream is
+				// broken.  Write misses never seek: the page cache
+				// installs fresh pages without touching the device, and
+				// write-back (charged at Flush) is elevator-scheduled.
+				if prev := d.lastBlk.Swap(gr); prev != gr-1 && prev != gr {
+					cost += d.model.SeekNanos
+					d.seeks.Add(1)
+				}
+			}
+			if isWrite {
+				d.granuleWrites.Add(1)
+			} else {
+				d.granuleReads.Add(1)
+			}
+		}
+		if d.model.SeekNanos > 0 && (hit || isWrite) {
+			d.lastBlk.Store(gr)
+		}
+	}
+	d.modeledNanos.Add(cost)
+}
+
+// ReadAt implements Device.
+func (d *SimDevice) ReadAt(p []byte, off int64) (int, error) {
+	if err := d.checkRange(off, int64(len(p))); err != nil {
+		return 0, err
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	d.charge(off, int64(len(p)), d.model.ReadNanos, false)
+	d.reads.Add(1)
+	d.bytesRead.Add(int64(len(p)))
+	copy(p, d.buf[off:])
+	return len(p), nil
+}
+
+// WriteAt implements Device.
+func (d *SimDevice) WriteAt(p []byte, off int64) (int, error) {
+	if err := d.checkRange(off, int64(len(p))); err != nil {
+		return 0, err
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	d.charge(off, int64(len(p)), d.model.WriteNanos, true)
+	d.writes.Add(1)
+	d.bytesWritten.Add(int64(len(p)))
+	copy(d.buf[off:], p)
+	return len(p), nil
+}
+
+// Flush implements Device: pushes [off, off+n) to the durable image.
+func (d *SimDevice) Flush(off, n int64) error {
+	if err := d.checkRange(off, n); err != nil {
+		return err
+	}
+	d.flushes.Add(1)
+	d.flushedBytes.Add(n)
+	d.modeledNanos.Add(granules(off, n, d.model.Granule) * d.model.FlushNanos)
+	if d.store == nil {
+		return nil // volatile medium: nothing to persist
+	}
+	if fp := d.failAfterFlushes.Load(); fp >= 0 {
+		if d.failAfterFlushes.Add(-1) < 0 {
+			return ErrFailPoint
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return d.store.persist(off, d.buf[off:off+n])
+}
+
+// Drain implements Device: makes all completed flushes durable.
+func (d *SimDevice) Drain() error {
+	d.drains.Add(1)
+	d.modeledNanos.Add(d.model.DrainNanos)
+	if d.store == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return d.store.sync()
+}
+
+// Crash simulates a power failure: the volatile image is discarded and
+// reloaded from the durable image.  Unflushed writes vanish.  The device
+// stays usable; stats and cache are reset.  Volatile (DRAM) devices come
+// back zero-filled.
+func (d *SimDevice) Crash() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	for i := range d.buf {
+		d.buf[i] = 0
+	}
+	if d.store != nil {
+		if err := d.store.load(d.buf); err != nil {
+			return err
+		}
+	}
+	if d.cache != nil {
+		d.cache.reset()
+	}
+	d.counters.reset()
+	d.lastBlk.Store(-1)
+	return nil
+}
+
+// FailAfterFlushes arms a fail point: the next n flushes succeed, then every
+// flush fails with ErrFailPoint until DisarmFailPoint.  Crash-injection
+// tests use this to interrupt persistence mid-phase.
+func (d *SimDevice) FailAfterFlushes(n int64) { d.failAfterFlushes.Store(n) }
+
+// DisarmFailPoint clears any armed fail point.
+func (d *SimDevice) DisarmFailPoint() { d.failAfterFlushes.Store(-1) }
+
+// Close implements Device.
+func (d *SimDevice) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	if d.store != nil {
+		return d.store.close()
+	}
+	return nil
+}
+
+func (d *SimDevice) checkRange(off, n int64) error {
+	if off < 0 || n < 0 || off+n > int64(len(d.buf)) {
+		return fmt.Errorf("%w: off=%d n=%d size=%d", ErrOutOfRange, off, n, len(d.buf))
+	}
+	return nil
+}

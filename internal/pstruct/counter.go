@@ -1,0 +1,63 @@
+package pstruct
+
+import (
+	"github.com/text-analytics/ntadoc/internal/pmem"
+)
+
+// Counter is the uniform surface of the paper's §IV-D result structures:
+// the hash table and the dense vector counter.  Engines choose between them
+// by expected density and reattach to either by pool offset.
+type Counter interface {
+	// Base returns the structure's pool offset.
+	Base() int64
+	// Len returns the number of live entries.
+	Len() int64
+	// Add increments key by delta, returning the new value.
+	Add(key, delta uint64) (uint64, error)
+	// Get returns key's value, or ErrNotFound.
+	Get(key uint64) (uint64, error)
+	// Range visits every live entry; fn returning false stops early.
+	Range(fn func(key, value uint64) bool)
+	// SyncLen writes the entry count back to the pool without flushing.
+	SyncLen()
+	// Flush persists the whole structure.
+	Flush() error
+	// FlushInit persists the minimum state that makes the structure's
+	// durable image consistent while still empty: the header and status
+	// buffer for a hash table, everything for a dense counter (whose data
+	// buffer is its status).  Operation-level engines call it once at
+	// allocation so crash replay starts from a well-defined image.
+	FlushInit() error
+}
+
+var (
+	_ Counter = (*HashTable)(nil)
+	_ Counter = (*DenseCounter)(nil)
+)
+
+// FlushInit implements Counter: the hash table's emptiness is encoded
+// entirely in its header and status buffer.
+func (t *HashTable) FlushInit() error {
+	if err := t.acc.Flush(0, htHeader+t.cap); err != nil {
+		return err
+	}
+	return t.acc.Device().Drain()
+}
+
+// FlushInit implements Counter: a dense counter's zeroed data is its empty
+// state, so everything must be durable.
+func (c *DenseCounter) FlushInit() error {
+	if err := c.acc.FlushAll(); err != nil {
+		return err
+	}
+	return c.acc.Device().Drain()
+}
+
+// OpenCounterAt reattaches to whichever counter kind lives at pool offset
+// off, dispatching on the header marker.
+func OpenCounterAt(p *pmem.Pool, off int64) (Counter, error) {
+	if IsDenseAt(p, off) {
+		return OpenDenseCounter(p, off)
+	}
+	return OpenHashTable(p, off)
+}

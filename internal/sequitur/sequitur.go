@@ -1,0 +1,293 @@
+// Package sequitur implements the Sequitur grammar-inference algorithm
+// (Nevill-Manning & Witten), the core TADOC uses to convert dictionary-
+// encoded text into a context-free grammar.  The implementation maintains
+// the two classic invariants online, in time linear in the input:
+//
+//   - digram uniqueness: no pair of adjacent symbols appears more than once
+//     in the grammar; a repeated digram becomes (or reuses) a rule;
+//   - rule utility: every rule is referenced at least twice; a rule that
+//     drops to one reference is inlined and removed.
+//
+// Multi-file corpora are compressed into a single grammar whose root
+// concatenates the files with distinct separator symbols between them
+// (paper §II): separators occur exactly once each, so no digram containing
+// one can ever repeat, and rules therefore never span file boundaries while
+// cross-file redundancy is still captured.
+package sequitur
+
+import (
+	"fmt"
+
+	"github.com/text-analytics/ntadoc/internal/cfg"
+)
+
+// node is a doubly-linked symbol in a rule body, or a rule's guard node.
+type node struct {
+	prev, next *node
+	sym        cfg.Symbol
+	rule       *rule // non-nil only for guard nodes
+}
+
+// rule is an inferred rule: a circular list hanging off a guard node.
+type rule struct {
+	guard *node
+	uses  int // reference count from other rule bodies
+	id    int // temporary numbering during inference
+}
+
+func newRule() *rule {
+	r := &rule{}
+	g := &node{rule: r}
+	g.prev, g.next = g, g
+	r.guard = g
+	return r
+}
+
+func (r *rule) first() *node { return r.guard.next }
+func (r *rule) last() *node  { return r.guard.prev }
+
+// builder runs the inference.
+type builder struct {
+	digrams map[uint64]*node // digram -> first occurrence (left node)
+	root    *rule
+	rules   map[*rule]struct{} // all live non-root rules
+	nextID  int
+
+	// ruleOf maps a placeholder symbol (index into ruleList) to its rule.
+	ruleList []*rule
+}
+
+// digramKey packs two symbols.
+func digramKey(a, b cfg.Symbol) uint64 { return uint64(a)<<32 | uint64(b) }
+
+// ruleSym returns the placeholder symbol referencing r during inference.
+func (b *builder) ruleSym(r *rule) cfg.Symbol {
+	if r.id < 0 {
+		r.id = len(b.ruleList)
+		b.ruleList = append(b.ruleList, r)
+	}
+	return cfg.Rule(uint32(r.id))
+}
+
+func (b *builder) ruleFromSym(s cfg.Symbol) *rule { return b.ruleList[s.RuleIndex()] }
+
+// Infer compresses per-file token streams into a grammar.  tokens[i] is the
+// dictionary-encoded content of file i.  numWords is the vocabulary size.
+func Infer(tokens [][]uint32, numWords uint32) (*cfg.Grammar, error) {
+	if uint64(len(tokens)) >= cfg.MaxWords {
+		return nil, fmt.Errorf("sequitur: too many files (%d)", len(tokens))
+	}
+	b := &builder{
+		digrams: make(map[uint64]*node),
+		root:    newRule(),
+		rules:   make(map[*rule]struct{}),
+	}
+	b.root.id = -1
+	for fi, ids := range tokens {
+		for _, id := range ids {
+			if id >= numWords {
+				return nil, fmt.Errorf("sequitur: token %d beyond vocabulary %d", id, numWords)
+			}
+			b.appendSymbol(cfg.Word(id))
+		}
+		// File separators are unique symbols: their digrams can never
+		// repeat, so they stay in the root.
+		b.appendSymbol(cfg.Sep(uint32(fi)))
+	}
+	return b.finish(uint32(len(tokens)), numWords), nil
+}
+
+// appendSymbol appends s to the root and restores the invariants.
+func (b *builder) appendSymbol(s cfg.Symbol) {
+	n := &node{sym: s}
+	b.link(b.root.last(), n)
+	b.link(n, b.root.guard)
+	if s.IsRule() {
+		b.ruleFromSym(s).uses++
+	}
+	b.checkDigram(n.prev)
+}
+
+// link makes y follow x.
+func (b *builder) link(x, y *node) {
+	x.next = y
+	y.prev = x
+}
+
+// isGuard reports whether n is a guard node.
+func isGuard(n *node) bool { return n.rule != nil }
+
+// removeDigram unindexes the digram starting at n, if n owns it.
+func (b *builder) removeDigram(n *node) {
+	if isGuard(n) || isGuard(n.next) {
+		return
+	}
+	k := digramKey(n.sym, n.next.sym)
+	if b.digrams[k] == n {
+		delete(b.digrams, k)
+	}
+}
+
+// checkDigram enforces digram uniqueness for the digram starting at n.
+// It returns true when the grammar changed.
+func (b *builder) checkDigram(n *node) bool {
+	if n == nil || isGuard(n) || isGuard(n.next) {
+		return false
+	}
+	// Separators are unique; digrams containing them never repeat, and
+	// keeping them out of the index guarantees no rule spans a file.
+	if n.sym.IsSep() || n.next.sym.IsSep() {
+		return false
+	}
+	k := digramKey(n.sym, n.next.sym)
+	match, ok := b.digrams[k]
+	if !ok {
+		b.digrams[k] = n
+		return false
+	}
+	if match == n || match.next == n {
+		// Same or overlapping occurrence (aaa): leave as is.
+		return false
+	}
+	b.handleMatch(n, match)
+	return true
+}
+
+// handleMatch resolves a repeated digram: reuse an existing rule when the
+// match is a whole rule body, otherwise create a new rule.
+func (b *builder) handleMatch(n, match *node) {
+	if isGuard(match.prev) && isGuard(match.next.next) && match.prev.rule != b.root {
+		// match is the entire body of a rule: substitute that rule at n.
+		r := match.prev.rule
+		b.substitute(n, r)
+	} else {
+		// Create a new rule for the digram.
+		r := newRule()
+		r.id = -1
+		b.rules[r] = struct{}{}
+		a, c := match.sym, match.next.sym
+		ra := &node{sym: a}
+		rc := &node{sym: c}
+		b.link(r.guard, ra)
+		b.link(ra, rc)
+		b.link(rc, r.guard)
+		if a.IsRule() {
+			b.ruleFromSym(a).uses++
+		}
+		if c.IsRule() {
+			b.ruleFromSym(c).uses++
+		}
+		b.digrams[digramKey(a, c)] = ra
+		// Replace both occurrences; order matters: the original first.
+		b.substitute(match, r)
+		b.substitute(n, r)
+	}
+}
+
+// substitute replaces the digram starting at n with a reference to r and
+// re-checks the neighbouring digrams.
+func (b *builder) substitute(n *node, r *rule) {
+	prev := n.prev
+	// Delete the two nodes of the digram.
+	b.deleteNode(n)
+	b.deleteNode(prev.next)
+	// Insert the rule reference.
+	ref := &node{sym: b.ruleSym(r)}
+	nxt := prev.next
+	b.link(prev, ref)
+	b.link(ref, nxt)
+	r.uses++
+	// Restore invariants around the new reference.
+	if !b.checkDigram(prev) {
+		b.checkDigram(ref)
+	}
+}
+
+// deleteNode unlinks n, maintaining the digram index and rule use counts.
+// Rule utility (inlining rules whose use count drops to one) is deferred to
+// finish(), which computes exact reachable counts; deferring keeps the
+// online phase simple and cannot corrupt the structure mid-substitution.
+func (b *builder) deleteNode(n *node) {
+	b.removeDigram(n.prev)
+	b.removeDigram(n)
+	b.link(n.prev, n.next)
+	if n.sym.IsRule() {
+		b.ruleFromSym(n.sym).uses--
+	}
+}
+
+// finish converts the linked structure into a cfg.Grammar: it counts
+// references reachable from the root, inlines rules referenced exactly once
+// (rule utility), drops unreachable rules, and renumbers densely with R0
+// first in discovery order (which also yields a stable topological layout
+// for the DAG pool).
+func (b *builder) finish(numFiles, numWords uint32) *cfg.Grammar {
+	// Count references with multiplicity, reachable from the root.
+	refs := make(map[*rule]int)
+	var count func(r *rule)
+	count = func(r *rule) {
+		for n := r.first(); !isGuard(n); n = n.next {
+			if !n.sym.IsRule() {
+				continue
+			}
+			child := b.ruleFromSym(n.sym)
+			refs[child]++
+			if refs[child] == 1 {
+				count(child)
+			}
+		}
+	}
+	count(b.root)
+
+	inline := func(r *rule) bool { return refs[r] == 1 }
+
+	// Assign final indices to surviving rules in discovery order.
+	finalIdx := map[*rule]uint32{b.root: 0}
+	order := []*rule{b.root}
+	var discover func(r *rule)
+	discover = func(r *rule) {
+		for n := r.first(); !isGuard(n); n = n.next {
+			if !n.sym.IsRule() {
+				continue
+			}
+			child := b.ruleFromSym(n.sym)
+			if inline(child) {
+				discover(child)
+				continue
+			}
+			if _, seen := finalIdx[child]; !seen {
+				finalIdx[child] = uint32(len(order))
+				order = append(order, child)
+				discover(child)
+			}
+		}
+	}
+	discover(b.root)
+
+	g := &cfg.Grammar{
+		Rules:    make([][]cfg.Symbol, len(order)),
+		NumWords: numWords,
+		NumFiles: numFiles,
+	}
+	var emit func(r *rule, out *[]cfg.Symbol)
+	emit = func(r *rule, out *[]cfg.Symbol) {
+		for n := r.first(); !isGuard(n); n = n.next {
+			if n.sym.IsRule() {
+				child := b.ruleFromSym(n.sym)
+				if inline(child) {
+					emit(child, out)
+					continue
+				}
+				*out = append(*out, cfg.Rule(finalIdx[child]))
+				continue
+			}
+			*out = append(*out, n.sym)
+		}
+	}
+	for r, idx := range finalIdx {
+		var body []cfg.Symbol
+		emit(r, &body)
+		g.Rules[idx] = body
+	}
+	return g
+}

@@ -1,0 +1,317 @@
+package sequitur
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/text-analytics/ntadoc/internal/cfg"
+)
+
+// encode builds token streams from short strings where each byte is a word.
+func encode(files ...string) ([][]uint32, uint32) {
+	var tokens [][]uint32
+	var max uint32
+	for _, f := range files {
+		ids := make([]uint32, len(f))
+		for i := range f {
+			ids[i] = uint32(f[i])
+			if ids[i] >= max {
+				max = ids[i] + 1
+			}
+		}
+		tokens = append(tokens, ids)
+	}
+	if max == 0 {
+		max = 1
+	}
+	return tokens, max
+}
+
+func roundTrip(t *testing.T, files ...string) *cfg.Grammar {
+	t.Helper()
+	tokens, numWords := encode(files...)
+	g, err := Infer(tokens, numWords)
+	if err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v\nrules: %v", err, g.Rules)
+	}
+	got := g.ExpandFiles()
+	if len(got) != len(tokens) {
+		t.Fatalf("expanded %d files, want %d", len(got), len(tokens))
+	}
+	for i := range tokens {
+		if len(tokens[i]) == 0 && len(got[i]) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got[i], tokens[i]) {
+			t.Fatalf("file %d: expand mismatch\n got %v\nwant %v", i, got[i], tokens[i])
+		}
+	}
+	return g
+}
+
+func TestEmptyInput(t *testing.T) {
+	g, err := Infer(nil, 1)
+	if err != nil {
+		t.Fatalf("Infer(nil): %v", err)
+	}
+	if g.NumFiles != 0 || len(g.Rules) != 1 || len(g.Rules[0]) != 0 {
+		t.Errorf("empty grammar = %+v", g)
+	}
+}
+
+func TestSingleToken(t *testing.T) {
+	roundTrip(t, "a")
+}
+
+func TestEmptyFileAmongFiles(t *testing.T) {
+	roundTrip(t, "abcabc", "", "abc")
+}
+
+func TestNoRepetition(t *testing.T) {
+	g := roundTrip(t, "abcdefgh")
+	if len(g.Rules) != 1 {
+		t.Errorf("unrepetitive input produced %d rules", len(g.Rules))
+	}
+}
+
+func TestClassicSequiturExamples(t *testing.T) {
+	// abcabc -> rule for abc (via digram rules).
+	g := roundTrip(t, "abcabc")
+	if len(g.Rules) < 2 {
+		t.Errorf("abcabc produced no rules: %v", g.Rules)
+	}
+	// Overlapping digrams must not loop: aaa, aaaa, aaaaaa.
+	roundTrip(t, "aaa")
+	roundTrip(t, "aaaa")
+	roundTrip(t, "aaaaaa")
+	roundTrip(t, "abababab")
+	roundTrip(t, "abcbcabcbc")
+}
+
+func TestRuleUtilityNoSingleUseRules(t *testing.T) {
+	for _, in := range []string{"abcabc", "abcdabcd", "aabaab", "xyxzxyxz", "abababab"} {
+		tokens, n := encode(in)
+		g, err := Infer(tokens, n)
+		if err != nil {
+			t.Fatalf("Infer(%q): %v", in, err)
+		}
+		uses := make([]int, len(g.Rules))
+		for _, body := range g.Rules {
+			for _, s := range body {
+				if s.IsRule() {
+					uses[s.RuleIndex()]++
+				}
+			}
+		}
+		for ri := 1; ri < len(g.Rules); ri++ {
+			if uses[ri] < 2 {
+				t.Errorf("%q: R%d used %d times (utility violated)\nrules: %v", in, ri, uses[ri], g.Rules)
+			}
+		}
+	}
+}
+
+func TestDigramUniquenessInOutput(t *testing.T) {
+	// After inference the grammar should contain (almost) no repeated
+	// digram.  Deferred rule-utility inlining can reintroduce a handful,
+	// so this is a looseness check, not an exact invariant: the count must
+	// be far below the input length.
+	in := "the cat sat on the mat the cat sat on the hat "
+	var tokens []uint32
+	vocab := map[string]uint32{}
+	for _, w := range splitWords(in) {
+		id, ok := vocab[w]
+		if !ok {
+			id = uint32(len(vocab))
+			vocab[w] = id
+		}
+		tokens = append(tokens, id)
+	}
+	g, err := Infer([][]uint32{tokens}, uint32(len(vocab)))
+	if err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+	seen := map[uint64]int{}
+	dups := 0
+	for _, body := range g.Rules {
+		for i := 0; i+1 < len(body); i++ {
+			if body[i].IsSep() || body[i+1].IsSep() {
+				continue
+			}
+			k := uint64(body[i])<<32 | uint64(body[i+1])
+			seen[k]++
+			if seen[k] == 2 {
+				dups++
+			}
+		}
+	}
+	if dups > len(tokens)/8 {
+		t.Errorf("%d duplicate digrams for %d tokens", dups, len(tokens))
+	}
+}
+
+func splitWords(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ' ' {
+			if cur != "" {
+				out = append(out, cur)
+				cur = ""
+			}
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}
+
+func TestCompressionOnRedundantInput(t *testing.T) {
+	// Highly repetitive input must compress well: body symbols well under
+	// input length.
+	var tokens []uint32
+	for i := 0; i < 200; i++ {
+		tokens = append(tokens, 1, 2, 3, 4, 5, 6, 7, 8)
+	}
+	g, err := Infer([][]uint32{tokens}, 9)
+	if err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+	st := g.ComputeStats()
+	if st.Expanded != int64(len(tokens)) {
+		t.Fatalf("expanded size = %d, want %d", st.Expanded, len(tokens))
+	}
+	if st.BodySymbols > int64(len(tokens))/4 {
+		t.Errorf("poor compression: %d body symbols for %d tokens", st.BodySymbols, len(tokens))
+	}
+}
+
+func TestCrossFileRedundancyShared(t *testing.T) {
+	// The same content in two files must share rules: total grammar size
+	// should be much less than twice the single-file grammar.
+	content := make([]uint32, 0, 800)
+	r := rand.New(rand.NewSource(5))
+	phrase := []uint32{3, 1, 4, 1, 5, 9, 2, 6}
+	for i := 0; i < 100; i++ {
+		content = append(content, phrase...)
+		content = append(content, uint32(r.Intn(10)))
+	}
+	single, _ := Infer([][]uint32{content}, 10)
+	double, _ := Infer([][]uint32{content, content}, 10)
+	s1 := single.ComputeStats().BodySymbols
+	s2 := double.ComputeStats().BodySymbols
+	if s2 > s1+s1/2 {
+		t.Errorf("cross-file redundancy not shared: single=%d double=%d", s1, s2)
+	}
+}
+
+func TestSeparatorsStayInRoot(t *testing.T) {
+	g := roundTrip(t, "abab", "abab", "abab")
+	for ri := 1; ri < len(g.Rules); ri++ {
+		for _, s := range g.Rules[ri] {
+			if s.IsSep() {
+				t.Fatalf("separator escaped into R%d", ri)
+			}
+		}
+	}
+	seps := 0
+	for _, s := range g.Rules[0] {
+		if s.IsSep() {
+			seps++
+		}
+	}
+	if seps != 3 {
+		t.Errorf("root has %d separators, want 3", seps)
+	}
+}
+
+func TestTokenBeyondVocabularyRejected(t *testing.T) {
+	if _, err := Infer([][]uint32{{5}}, 3); err == nil {
+		t.Error("expected vocabulary error")
+	}
+}
+
+func TestQuickRoundTripRandomTokens(t *testing.T) {
+	// Property: decompress(compress(x)) == x for arbitrary token streams
+	// over a small alphabet (small alphabets maximize digram collisions and
+	// stress the invariants).
+	f := func(seed int64, fileLens []uint8) bool {
+		if len(fileLens) > 6 {
+			fileLens = fileLens[:6]
+		}
+		r := rand.New(rand.NewSource(seed))
+		const vocab = 4
+		var tokens [][]uint32
+		for _, ln := range fileLens {
+			n := int(ln)
+			ids := make([]uint32, n)
+			for i := range ids {
+				ids[i] = uint32(r.Intn(vocab))
+			}
+			tokens = append(tokens, ids)
+		}
+		g, err := Infer(tokens, vocab)
+		if err != nil {
+			return false
+		}
+		if g.Validate() != nil {
+			return false
+		}
+		got := g.ExpandFiles()
+		if len(got) != len(tokens) {
+			return false
+		}
+		for i := range tokens {
+			if len(got[i]) != len(tokens[i]) {
+				return false
+			}
+			for j := range tokens[i] {
+				if got[i][j] != tokens[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRoundTripSkewedTokens(t *testing.T) {
+	// Zipf-like skew produces long runs and nested repetitions.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		zipf := rand.NewZipf(r, 1.3, 1.0, 9)
+		n := 200 + r.Intn(800)
+		ids := make([]uint32, n)
+		for i := range ids {
+			ids[i] = uint32(zipf.Uint64())
+		}
+		g, err := Infer([][]uint32{ids}, 10)
+		if err != nil || g.Validate() != nil {
+			return false
+		}
+		got := g.ExpandFiles()
+		if len(got) != 1 || len(got[0]) != n {
+			return false
+		}
+		for i := range ids {
+			if got[0][i] != ids[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,395 @@
+// Package tadoc implements the original TADOC analytics engine on DRAM: the
+// paper's theoretical efficiency upper bound (Fig 6).  The grammar and every
+// intermediate structure live in ordinary Go memory; analytics are DAG
+// traversals exactly as in the VLDB'18/VLDBJ'21 TADOC papers, with both the
+// top-down (weight propagation) and bottom-up (word-list merging) traversal
+// strategies and the head/tail structures for sequence tasks.
+package tadoc
+
+import (
+	"sort"
+
+	"github.com/text-analytics/ntadoc/internal/analytics"
+	"github.com/text-analytics/ntadoc/internal/cfg"
+	"github.com/text-analytics/ntadoc/internal/dict"
+	"github.com/text-analytics/ntadoc/internal/metrics"
+)
+
+// Strategy selects the traversal direction for per-file tasks (§VI-E).
+type Strategy int
+
+// Traversal strategies.
+const (
+	// Auto picks bottom-up when the corpus has many files, top-down
+	// otherwise, mirroring the paper's per-dataset choices.
+	Auto Strategy = iota
+	// TopDown propagates weights from the root: efficient for few files.
+	TopDown
+	// BottomUp merges word lists upward: efficient for many files.
+	BottomUp
+)
+
+// autoFileThreshold is the file count above which Auto selects BottomUp.
+const autoFileThreshold = 500
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case TopDown:
+		return "top-down"
+	case BottomUp:
+		return "bottom-up"
+	default:
+		return "auto"
+	}
+}
+
+// Engine is the DRAM TADOC engine.  It implements analytics.Engine.
+type Engine struct {
+	g        *cfg.Grammar
+	d        *dict.Dictionary
+	strategy Strategy
+	meter    metrics.Meter
+
+	// Cached preprocessing, built lazily.
+	weights []uint64
+	lists   []map[uint32]uint64
+	infos   []*analytics.SeqInfo
+	segs    [][]cfg.Symbol
+}
+
+var _ analytics.Engine = (*Engine)(nil)
+
+// New creates an engine over a validated grammar.
+func New(g *cfg.Grammar, d *dict.Dictionary, strategy Strategy) (*Engine, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{g: g, d: d, strategy: strategy}, nil
+}
+
+// effectiveStrategy resolves Auto against the corpus shape.
+func (e *Engine) effectiveStrategy() Strategy {
+	if e.strategy != Auto {
+		return e.strategy
+	}
+	if e.g.NumFiles > autoFileThreshold {
+		return BottomUp
+	}
+	return TopDown
+}
+
+func (e *Engine) ensureWeights() error {
+	if e.weights != nil {
+		return nil
+	}
+	w, err := analytics.RuleWeights(e.g)
+	if err != nil {
+		return err
+	}
+	e.meter.Charge(e.bodySymbols(), metrics.CostScanToken)
+	e.weights = w
+	return nil
+}
+
+func (e *Engine) ensureLists() error {
+	if e.lists != nil {
+		return nil
+	}
+	l, err := analytics.RuleWordLists(e.g)
+	if err != nil {
+		return err
+	}
+	// Charge the bottom-up merge work: every subrule occurrence merges its
+	// full word list into the parent.
+	var mergeOps int64
+	for _, body := range e.g.Rules {
+		for _, s := range body {
+			switch {
+			case s.IsWord():
+				mergeOps++
+			case s.IsRule():
+				mergeOps += int64(len(l[s.RuleIndex()]))
+			}
+		}
+	}
+	e.meter.Charge(mergeOps, metrics.CostMergeEntry)
+	e.lists = l
+	return nil
+}
+
+func (e *Engine) ensureInfos() error {
+	if e.infos != nil {
+		return nil
+	}
+	i, err := analytics.ComputeSeqInfo(e.g)
+	if err != nil {
+		return err
+	}
+	var mergeOps int64
+	for _, body := range e.g.Rules {
+		for _, s := range body {
+			if s.IsRule() {
+				mergeOps += int64(len(i[s.RuleIndex()].Counts))
+			}
+		}
+	}
+	e.meter.Charge(mergeOps, metrics.CostMergeEntry)
+	e.meter.Charge(e.bodySymbols(), metrics.CostScanToken)
+	e.infos = i
+	return nil
+}
+
+func (e *Engine) segments() [][]cfg.Symbol {
+	if e.segs == nil {
+		e.segs = analytics.FileSegments(e.g)
+	}
+	return e.segs
+}
+
+// WordCount implements analytics.Engine via top-down weight propagation
+// (Figure 1e's worked example).
+func (e *Engine) WordCount() (map[uint32]uint64, error) {
+	if err := e.ensureWeights(); err != nil {
+		return nil, err
+	}
+	out := make(map[uint32]uint64)
+	for ri, body := range e.g.Rules {
+		w := e.weights[ri]
+		if w == 0 {
+			continue
+		}
+		e.meter.Charge(int64(len(body)), metrics.CostScanToken)
+		for _, s := range body {
+			if s.IsWord() {
+				e.meter.Charge(1, metrics.CostHashOp)
+				out[s.WordID()] += w
+			}
+		}
+	}
+	return out, nil
+}
+
+// Sort implements analytics.Engine.
+func (e *Engine) Sort() ([]analytics.WordFreq, error) {
+	counts, err := e.WordCount()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]analytics.WordFreq, 0, len(counts))
+	for w, c := range counts {
+		out = append(out, analytics.WordFreq{Word: w, Freq: c})
+	}
+	e.meter.Charge(int64(len(out)), metrics.CostHashOp+metrics.CostSortEntry)
+	analytics.SortAlphabetical(out, e.d)
+	return out, nil
+}
+
+// fileWordCounts computes per-file word frequencies with the configured
+// traversal strategy.
+func (e *Engine) fileWordCounts() ([]map[uint32]uint64, error) {
+	switch e.effectiveStrategy() {
+	case BottomUp:
+		return e.fileWordCountsBottomUp()
+	default:
+		return e.fileWordCountsTopDown()
+	}
+}
+
+// fileWordCountsBottomUp merges the cached per-rule word lists at the top
+// level of each file segment: O(DAG + files x segment).
+func (e *Engine) fileWordCountsBottomUp() ([]map[uint32]uint64, error) {
+	if err := e.ensureLists(); err != nil {
+		return nil, err
+	}
+	segs := e.segments()
+	out := make([]map[uint32]uint64, len(segs))
+	for fi, seg := range segs {
+		counts := make(map[uint32]uint64)
+		for _, s := range seg {
+			switch {
+			case s.IsWord():
+				e.meter.Charge(1, metrics.CostHashOp)
+				counts[s.WordID()]++
+			case s.IsRule():
+				e.meter.Charge(int64(len(e.lists[s.RuleIndex()])), metrics.CostMergeEntry)
+				for w, c := range e.lists[s.RuleIndex()] {
+					counts[w] += c
+				}
+			}
+		}
+		out[fi] = counts
+	}
+	return out, nil
+}
+
+// fileWordCountsTopDown traverses the DAG once per file, propagating weights
+// through the file's reachable subgraph: O(files x DAG), the strategy the
+// paper shows collapsing on many-file datasets (§VI-E).
+func (e *Engine) fileWordCountsTopDown() ([]map[uint32]uint64, error) {
+	order, err := e.g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	segs := e.segments()
+	out := make([]map[uint32]uint64, len(segs))
+	weight := make([]uint64, len(e.g.Rules))
+	for fi, seg := range segs {
+		counts := make(map[uint32]uint64)
+		e.meter.Charge(int64(len(seg)), metrics.CostScanToken)
+		for _, s := range seg {
+			switch {
+			case s.IsWord():
+				counts[s.WordID()]++
+			case s.IsRule():
+				weight[s.RuleIndex()]++
+			}
+		}
+		// Propagate weights down the whole DAG in topological order; the
+		// full sweep per file is precisely the top-down cost profile.
+		e.meter.Charge(int64(len(order)), metrics.CostScanToken) // per-rule sweep check
+		for _, ri := range order {
+			w := weight[ri]
+			if w == 0 {
+				continue
+			}
+			e.meter.Charge(int64(len(e.g.Rules[ri])), metrics.CostScanToken)
+			for _, s := range e.g.Rules[ri] {
+				switch {
+				case s.IsWord():
+					e.meter.Charge(1, metrics.CostHashOp)
+					counts[s.WordID()] += w
+				case s.IsRule():
+					weight[s.RuleIndex()] += w
+				}
+			}
+			weight[ri] = 0 // reset for the next file
+		}
+		out[fi] = counts
+	}
+	return out, nil
+}
+
+// TermVector implements analytics.Engine.
+func (e *Engine) TermVector(k int) ([][]analytics.WordFreq, error) {
+	perFile, err := e.fileWordCounts()
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]analytics.WordFreq, len(perFile))
+	for i, counts := range perFile {
+		e.meter.Charge(int64(len(counts)), metrics.CostSortEntry)
+		out[i] = analytics.TermVectorOf(counts, k)
+	}
+	return out, nil
+}
+
+// InvertedIndex implements analytics.Engine.
+func (e *Engine) InvertedIndex() (map[uint32][]uint32, error) {
+	perFile, err := e.fileWordCounts()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[uint32][]uint32)
+	for doc, counts := range perFile {
+		e.meter.Charge(int64(len(counts)), metrics.CostHashOp+metrics.CostSortEntry)
+		for w := range counts {
+			out[w] = append(out[w], uint32(doc))
+		}
+	}
+	for w := range out {
+		sortU32(out[w])
+	}
+	return out, nil
+}
+
+// SequenceCount implements analytics.Engine: the root's sequence summary is
+// the global result.
+func (e *Engine) SequenceCount() (map[analytics.Seq]uint64, error) {
+	if err := e.ensureInfos(); err != nil {
+		return nil, err
+	}
+	// Copy: callers may mutate the result.
+	e.meter.Charge(int64(len(e.infos[0].Counts)), metrics.CostSeqOp)
+	out := make(map[analytics.Seq]uint64, len(e.infos[0].Counts))
+	for q, c := range e.infos[0].Counts {
+		out[q] = c
+	}
+	return out, nil
+}
+
+// RankedInvertedIndex implements analytics.Engine.
+func (e *Engine) RankedInvertedIndex() (map[analytics.Seq][]analytics.DocFreq, error) {
+	if err := e.ensureInfos(); err != nil {
+		return nil, err
+	}
+	perDoc := make(map[analytics.Seq]map[uint32]uint64)
+	for fi, seg := range e.segments() {
+		segCounts := analytics.SegmentSeqCounts(seg, e.infos)
+		// SegmentSeqCounts merges each top-level rule's count table plus
+		// the spanning-window walk.
+		var mergeOps int64
+		for _, s := range seg {
+			if s.IsRule() {
+				mergeOps += int64(len(e.infos[s.RuleIndex()].Counts))
+			}
+		}
+		e.meter.Charge(mergeOps+int64(len(seg)), metrics.CostMergeEntry)
+		for q, c := range segCounts {
+			e.meter.Charge(1, metrics.CostSeqOp)
+			m := perDoc[q]
+			if m == nil {
+				m = make(map[uint32]uint64)
+				perDoc[q] = m
+			}
+			m[uint32(fi)] += c
+		}
+	}
+	out := make(map[analytics.Seq][]analytics.DocFreq, len(perDoc))
+	for q, m := range perDoc {
+		e.meter.Charge(int64(len(m)), metrics.CostSortEntry)
+		out[q] = analytics.RankPostings(m)
+	}
+	return out, nil
+}
+
+// DRAMBytes estimates the engine's resident DRAM: the grammar plus every
+// cached intermediate structure.  This is the minuend of the paper's §VI-C
+// space-savings computation.
+func (e *Engine) DRAMBytes() int64 {
+	var total int64
+	for _, body := range e.g.Rules {
+		total += metrics.SliceBytes(len(body), 4)
+	}
+	total += metrics.SliceBytes(len(e.weights), 8)
+	for _, l := range e.lists {
+		total += metrics.MapBytes(len(l), 4, 8)
+	}
+	for _, si := range e.infos {
+		if si == nil {
+			continue
+		}
+		total += metrics.MapBytes(len(si.Counts), 12, 8)
+		total += metrics.SliceBytes(len(si.Edge), 4)
+	}
+	return total
+}
+
+// Grammar exposes the engine's grammar for harness reporting.
+func (e *Engine) Grammar() *cfg.Grammar { return e.g }
+
+// bodySymbols returns the total symbol count across rule bodies.
+func (e *Engine) bodySymbols() int64 {
+	var n int64
+	for _, body := range e.g.Rules {
+		n += int64(len(body))
+	}
+	return n
+}
+
+// Meter exposes the engine's modeled CPU meter for measurement.
+func (e *Engine) Meter() *metrics.Meter { return &e.meter }
+
+func sortU32(s []uint32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

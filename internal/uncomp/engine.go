@@ -1,0 +1,219 @@
+// Package uncomp implements the paper's Fig 5 baseline: text analytics over
+// uncompressed, dictionary-encoded tokens resident on a storage device (NVM
+// in the headline comparison).  No compression technique is applied beyond
+// the dictionary conversion, matching the paper's baseline configuration;
+// every task is a sequential scan of the token stream with intermediate
+// results in ordinary DRAM structures.
+package uncomp
+
+import (
+	"fmt"
+
+	"github.com/text-analytics/ntadoc/internal/analytics"
+	"github.com/text-analytics/ntadoc/internal/dict"
+	"github.com/text-analytics/ntadoc/internal/metrics"
+	"github.com/text-analytics/ntadoc/internal/nvm"
+)
+
+// Engine scans device-resident tokens.  It implements analytics.Engine.
+type Engine struct {
+	dev   nvm.Device
+	d     *dict.Dictionary
+	acc   nvm.Accessor
+	offs  []int64 // token offset of each file's start; offs[len] = total
+	meter metrics.Meter
+}
+
+var _ analytics.Engine = (*Engine)(nil)
+
+// tokenBytes is the stored width of one token.
+const tokenBytes = 4
+
+// RequiredSize returns the device bytes needed to load the given corpus.
+func RequiredSize(files [][]uint32) int64 {
+	var n int64
+	for _, f := range files {
+		n += int64(len(f))
+	}
+	return n * tokenBytes
+}
+
+// Load writes the corpus onto the device and returns an engine over it.
+// This is the baseline's initialization phase: the dictionary-encoded text
+// is written sequentially to the device and flushed.
+func Load(dev nvm.Device, d *dict.Dictionary, files [][]uint32) (*Engine, error) {
+	need := RequiredSize(files)
+	if dev.Size() < need {
+		return nil, fmt.Errorf("uncomp: device %d bytes, need %d", dev.Size(), need)
+	}
+	e := &Engine{
+		dev:  dev,
+		d:    d,
+		acc:  nvm.NewAccessor(dev, 0, need),
+		offs: make([]int64, len(files)+1),
+	}
+	var tok int64
+	for i, f := range files {
+		e.offs[i] = tok
+		// Write in chunks to keep allocation bounded.
+		const chunk = 1 << 14
+		for start := 0; start < len(f); start += chunk {
+			end := start + chunk
+			if end > len(f) {
+				end = len(f)
+			}
+			e.acc.PutUint32s((tok+int64(start))*tokenBytes, f[start:end])
+		}
+		tok += int64(len(f))
+	}
+	e.offs[len(files)] = tok
+	e.meter.Charge(tok, metrics.CostScanToken)
+	if need > 0 {
+		if err := e.acc.Flush(0, need); err != nil {
+			return nil, err
+		}
+	}
+	return e, dev.Drain()
+}
+
+// NumFiles returns the number of loaded documents.
+func (e *Engine) NumFiles() int { return len(e.offs) - 1 }
+
+// TotalTokens returns the corpus length in tokens.
+func (e *Engine) TotalTokens() int64 { return e.offs[len(e.offs)-1] }
+
+// scanFile streams file fi's tokens in batches to fn.
+func (e *Engine) scanFile(fi int, fn func(tokens []uint32)) {
+	start, end := e.offs[fi], e.offs[fi+1]
+	const batch = 1 << 13
+	buf := make([]uint32, batch)
+	for pos := start; pos < end; pos += batch {
+		n := end - pos
+		if n > batch {
+			n = batch
+		}
+		e.acc.Uint32s(pos*tokenBytes, buf[:n])
+		fn(buf[:n])
+	}
+}
+
+// WordCount implements analytics.Engine.
+func (e *Engine) WordCount() (map[uint32]uint64, error) {
+	out := make(map[uint32]uint64)
+	for fi := 0; fi < e.NumFiles(); fi++ {
+		e.scanFile(fi, func(toks []uint32) {
+			e.meter.Charge(int64(len(toks)), metrics.CostScanToken+metrics.CostHashOp)
+			for _, w := range toks {
+				out[w]++
+			}
+		})
+	}
+	return out, nil
+}
+
+// Sort implements analytics.Engine.
+func (e *Engine) Sort() ([]analytics.WordFreq, error) {
+	counts, err := e.WordCount()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]analytics.WordFreq, 0, len(counts))
+	for w, c := range counts {
+		out = append(out, analytics.WordFreq{Word: w, Freq: c})
+	}
+	e.meter.Charge(int64(len(out)), metrics.CostHashOp+metrics.CostSortEntry)
+	analytics.SortAlphabetical(out, e.d)
+	return out, nil
+}
+
+// TermVector implements analytics.Engine.
+func (e *Engine) TermVector(k int) ([][]analytics.WordFreq, error) {
+	out := make([][]analytics.WordFreq, e.NumFiles())
+	for fi := range out {
+		counts := make(map[uint32]uint64)
+		e.scanFile(fi, func(toks []uint32) {
+			e.meter.Charge(int64(len(toks)), metrics.CostScanToken+metrics.CostHashOp)
+			for _, w := range toks {
+				counts[w]++
+			}
+		})
+		e.meter.Charge(int64(len(counts)), metrics.CostSortEntry)
+		out[fi] = analytics.TermVectorOf(counts, k)
+	}
+	return out, nil
+}
+
+// InvertedIndex implements analytics.Engine.
+func (e *Engine) InvertedIndex() (map[uint32][]uint32, error) {
+	out := make(map[uint32][]uint32)
+	for fi := 0; fi < e.NumFiles(); fi++ {
+		seen := make(map[uint32]struct{})
+		e.scanFile(fi, func(toks []uint32) {
+			e.meter.Charge(int64(len(toks)), metrics.CostScanToken+metrics.CostHashOp)
+			for _, w := range toks {
+				if _, ok := seen[w]; !ok {
+					seen[w] = struct{}{}
+					out[w] = append(out[w], uint32(fi))
+				}
+			}
+		})
+	}
+	return out, nil
+}
+
+// SequenceCount implements analytics.Engine.
+func (e *Engine) SequenceCount() (map[analytics.Seq]uint64, error) {
+	out := make(map[analytics.Seq]uint64)
+	for fi := 0; fi < e.NumFiles(); fi++ {
+		e.scanSequences(fi, func(q analytics.Seq) {
+			e.meter.Charge(1, metrics.CostSeqOp)
+			out[q]++
+		})
+	}
+	return out, nil
+}
+
+// RankedInvertedIndex implements analytics.Engine.
+func (e *Engine) RankedInvertedIndex() (map[analytics.Seq][]analytics.DocFreq, error) {
+	perDoc := make(map[analytics.Seq]map[uint32]uint64)
+	for fi := 0; fi < e.NumFiles(); fi++ {
+		e.scanSequences(fi, func(q analytics.Seq) {
+			e.meter.Charge(1, metrics.CostSeqOp+metrics.CostHashOp)
+			m := perDoc[q]
+			if m == nil {
+				m = make(map[uint32]uint64)
+				perDoc[q] = m
+			}
+			m[uint32(fi)]++
+		})
+	}
+	out := make(map[analytics.Seq][]analytics.DocFreq, len(perDoc))
+	for q, m := range perDoc {
+		e.meter.Charge(int64(len(m)), metrics.CostSortEntry)
+		out[q] = analytics.RankPostings(m)
+	}
+	return out, nil
+}
+
+// scanSequences streams every SeqLen-window of file fi.
+func (e *Engine) scanSequences(fi int, emit func(analytics.Seq)) {
+	var window []uint32
+	e.scanFile(fi, func(toks []uint32) {
+		e.meter.Charge(int64(len(toks)), metrics.CostScanToken)
+		for _, w := range toks {
+			window = append(window, w)
+			if len(window) > analytics.SeqLen {
+				copy(window, window[1:])
+				window = window[:analytics.SeqLen]
+			}
+			if len(window) == analytics.SeqLen {
+				var q analytics.Seq
+				copy(q[:], window)
+				emit(q)
+			}
+		}
+	})
+}
+
+// Meter exposes the engine's modeled CPU meter for measurement.
+func (e *Engine) Meter() *metrics.Meter { return &e.meter }

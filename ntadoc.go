@@ -1,0 +1,200 @@
+// Package ntadoc is a Go implementation of N-TADOC — NVM-based text
+// analytics directly on compressed data (Fang et al., ICDE 2024) — together
+// with the TADOC compression core it builds on.
+//
+// The package compresses document collections into a context-free grammar
+// (Sequitur with dictionary encoding) and runs text analytics on the
+// compressed form without decompression: word count, sort, term vector,
+// inverted index, sequence count, and ranked inverted index.  Analytics run
+// on a simulated non-volatile-memory device with faithful persistence
+// semantics (crash + recovery), using the paper's designs: pruning with NVM
+// pool management, bottom-up upper-bound summation, NVM-adapted data
+// structures, and phase- or operation-level persistence.
+//
+// Quick start:
+//
+//	archive, _ := ntadoc.Compress([]ntadoc.Document{
+//		{Name: "a.txt", Text: "the quick brown fox ..."},
+//	})
+//	eng, _ := ntadoc.NewEngine(archive, ntadoc.Options{})
+//	defer eng.Close()
+//	counts, _ := eng.WordCount()
+package ntadoc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/text-analytics/ntadoc/internal/cfg"
+	"github.com/text-analytics/ntadoc/internal/dict"
+	"github.com/text-analytics/ntadoc/internal/sequitur"
+)
+
+// Document is one input text with its name.
+type Document struct {
+	Name string
+	Text string
+}
+
+// Archive is a compressed document collection: the TADOC grammar plus its
+// dictionary.  Archives serialize with WriteTo and load with ReadArchive.
+type Archive struct {
+	g *cfg.Grammar
+	d *dict.Dictionary
+}
+
+// Compress builds an archive from documents.  Tokenization lowercases and
+// strips surrounding punctuation (see CompressTokens for full control).
+func Compress(docs []Document) (*Archive, error) {
+	d := dict.New()
+	var tk dict.Tokenizer
+	tokens := make([][]uint32, len(docs))
+	names := make([]string, len(docs))
+	for i, doc := range docs {
+		tokens[i] = tk.EncodeString(d, doc.Text)
+		names[i] = doc.Name
+	}
+	return compress(tokens, names, d)
+}
+
+// CompressTokens builds an archive from pre-tokenized, dictionary-encoded
+// documents.  Token IDs must be dense dictionary IDs from dct.
+func CompressTokens(tokens [][]uint32, names []string, dct *Dictionary) (*Archive, error) {
+	return compress(tokens, names, dct.d)
+}
+
+func compress(tokens [][]uint32, names []string, d *dict.Dictionary) (*Archive, error) {
+	g, err := sequitur.Infer(tokens, uint32(d.Len()))
+	if err != nil {
+		return nil, fmt.Errorf("ntadoc: compress: %w", err)
+	}
+	g.Files = names
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &Archive{g: g, d: d}, nil
+}
+
+// Dictionary wraps the word <-> ID mapping for use with CompressTokens.
+type Dictionary struct{ d *dict.Dictionary }
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary { return &Dictionary{d: dict.New()} }
+
+// Intern returns the ID for word, assigning one on first use.
+func (dc *Dictionary) Intern(word string) uint32 { return dc.d.Intern(word) }
+
+// Len returns the vocabulary size.
+func (dc *Dictionary) Len() int { return dc.d.Len() }
+
+// Stats summarizes an archive.
+type Stats struct {
+	Documents       int
+	Rules           int
+	Vocabulary      int
+	Tokens          int64 // uncompressed length in tokens
+	GrammarSymbols  int64 // compressed length in grammar symbols
+	CompressionRate float64
+}
+
+// Stats returns summary statistics of the archive.
+func (a *Archive) Stats() Stats {
+	st := a.g.ComputeStats()
+	rate := 0.0
+	if st.Expanded > 0 {
+		rate = float64(st.BodySymbols) / float64(st.Expanded)
+	}
+	return Stats{
+		Documents:       st.Files,
+		Rules:           st.Rules,
+		Vocabulary:      st.Vocabulary,
+		Tokens:          st.Expanded,
+		GrammarSymbols:  st.BodySymbols,
+		CompressionRate: rate,
+	}
+}
+
+// DocumentNames returns the archived document names in order.
+func (a *Archive) DocumentNames() []string {
+	if a.g.Files != nil {
+		return a.g.Files
+	}
+	names := make([]string, a.g.NumFiles)
+	for i := range names {
+		names[i] = fmt.Sprintf("doc%d", i)
+	}
+	return names
+}
+
+// Decompress reconstructs the original documents (tokens re-joined with
+// single spaces; tokenization is lossy about whitespace and punctuation by
+// design, as in the paper's dictionary conversion).
+func (a *Archive) Decompress() []Document {
+	names := a.DocumentNames()
+	files := a.g.ExpandFiles()
+	docs := make([]Document, len(files))
+	for i, toks := range files {
+		words := make([]string, len(toks))
+		for j, id := range toks {
+			words[j] = a.d.Word(id)
+		}
+		docs[i] = Document{Name: names[i], Text: strings.Join(words, " ")}
+	}
+	return docs
+}
+
+// WriteTo serializes the archive: a length-prefixed grammar section
+// followed by the dictionary.  The length prefix lets the reader bound the
+// grammar parser's buffering exactly.
+func (a *Archive) WriteTo(w io.Writer) (int64, error) {
+	var gbuf bytes.Buffer
+	if _, err := a.g.WriteTo(&gbuf); err != nil {
+		return 0, err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(gbuf.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	n, err := io.Copy(w, &gbuf)
+	n += 8
+	if err != nil {
+		return n, err
+	}
+	m, err := a.d.WriteTo(w)
+	return n + m, err
+}
+
+// ReadArchive loads an archive written by WriteTo, validating both parts.
+func ReadArchive(r io.Reader) (*Archive, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("ntadoc: archive header: %w", err)
+	}
+	gLen := int64(binary.LittleEndian.Uint64(hdr[:]))
+	if gLen <= 0 || gLen > 1<<40 {
+		return nil, fmt.Errorf("ntadoc: absurd grammar section length %d", gLen)
+	}
+	g, err := cfg.ReadGrammar(io.LimitReader(r, gLen))
+	if err != nil {
+		return nil, err
+	}
+	d := dict.New()
+	if _, err := d.ReadFrom(r); err != nil {
+		return nil, err
+	}
+	if uint32(d.Len()) < g.NumWords {
+		return nil, fmt.Errorf("ntadoc: dictionary (%d words) smaller than grammar vocabulary (%d)", d.Len(), g.NumWords)
+	}
+	return &Archive{g: g, d: d}, nil
+}
+
+// WriteDOT renders the archive's grammar DAG in Graphviz DOT format, with
+// short rule bodies labelled using real words — the paper's Figure 1(e)
+// view of the compressed data.
+func (a *Archive) WriteDOT(w io.Writer) error {
+	return a.g.WriteDOT(w, a.d)
+}

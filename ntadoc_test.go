@@ -1,0 +1,291 @@
+package ntadoc
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var testDocs = []Document{
+	{Name: "fableA", Text: "the quick brown fox jumps over the lazy dog. the quick brown fox naps."},
+	{Name: "fableB", Text: "a lazy dog and a quick fox: the quick brown fox again!"},
+	{Name: "fableC", Text: "entirely unrelated words appear here once."},
+}
+
+func compressDocs(t *testing.T) *Archive {
+	t.Helper()
+	a, err := Compress(testDocs)
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	return a
+}
+
+func TestCompressStats(t *testing.T) {
+	a := compressDocs(t)
+	st := a.Stats()
+	if st.Documents != 3 {
+		t.Errorf("Documents = %d", st.Documents)
+	}
+	if st.Vocabulary == 0 || st.Tokens == 0 || st.Rules == 0 {
+		t.Errorf("Stats = %+v", st)
+	}
+	if st.CompressionRate <= 0 || st.CompressionRate > 1.2 {
+		t.Errorf("CompressionRate = %f", st.CompressionRate)
+	}
+}
+
+func TestDecompressRoundTrip(t *testing.T) {
+	a := compressDocs(t)
+	docs := a.Decompress()
+	if len(docs) != len(testDocs) {
+		t.Fatalf("got %d docs", len(docs))
+	}
+	var tkWords []string
+	for i, doc := range docs {
+		if doc.Name != testDocs[i].Name {
+			t.Errorf("doc %d name = %q", i, doc.Name)
+		}
+		// Tokenization lowercases and strips punctuation; compare at the
+		// token level.
+		tkWords = strings.Fields(doc.Text)
+		want := normalizeWords(testDocs[i].Text)
+		if !reflect.DeepEqual(tkWords, want) {
+			t.Errorf("doc %d round trip:\n got %v\nwant %v", i, tkWords, want)
+		}
+	}
+}
+
+func normalizeWords(text string) []string {
+	fields := strings.Fields(strings.ToLower(text))
+	out := fields[:0]
+	for _, f := range fields {
+		f = strings.Trim(f, ".,:!?()\"'")
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestArchiveSerializationRoundTrip(t *testing.T) {
+	a := compressDocs(t)
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	a2, err := ReadArchive(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadArchive: %v", err)
+	}
+	if !reflect.DeepEqual(a.Decompress(), a2.Decompress()) {
+		t.Error("round-tripped archive decompresses differently")
+	}
+	if !reflect.DeepEqual(a.DocumentNames(), a2.DocumentNames()) {
+		t.Error("document names lost")
+	}
+}
+
+func TestReadArchiveRejectsGarbage(t *testing.T) {
+	if _, err := ReadArchive(bytes.NewReader([]byte("not an archive"))); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestEnginesAgreeOnAllTasks(t *testing.T) {
+	a := compressDocs(t)
+	dram, err := NewEngine(a, Options{Medium: MediumDRAM})
+	if err != nil {
+		t.Fatalf("DRAM engine: %v", err)
+	}
+	nvmEng, err := NewEngine(a, Options{Medium: MediumNVM})
+	if err != nil {
+		t.Fatalf("NVM engine: %v", err)
+	}
+	defer nvmEng.Close()
+
+	wc1, err := dram.WordCount()
+	if err != nil {
+		t.Fatalf("DRAM WordCount: %v", err)
+	}
+	wc2, err := nvmEng.WordCount()
+	if err != nil {
+		t.Fatalf("NVM WordCount: %v", err)
+	}
+	if !reflect.DeepEqual(wc1, wc2) {
+		t.Error("word counts disagree across engines")
+	}
+	if wc1["the"] != 4 || wc1["fox"] != 4 {
+		t.Errorf("counts: the=%d fox=%d", wc1["the"], wc1["fox"])
+	}
+
+	s1, _ := dram.Sort()
+	s2, _ := nvmEng.Sort()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Error("sort disagrees")
+	}
+	for i := 1; i < len(s1); i++ {
+		if s1[i-1].Term >= s1[i].Term {
+			t.Fatalf("sort not alphabetical at %d: %q >= %q", i, s1[i-1].Term, s1[i].Term)
+		}
+	}
+
+	tv1, _ := dram.TermVectors(3)
+	tv2, _ := nvmEng.TermVectors(3)
+	if !reflect.DeepEqual(tv1, tv2) {
+		t.Error("term vectors disagree")
+	}
+
+	inv1, _ := dram.InvertedIndex()
+	inv2, _ := nvmEng.InvertedIndex()
+	if !reflect.DeepEqual(inv1, inv2) {
+		t.Error("inverted indexes disagree")
+	}
+	if got := inv1["fox"]; !reflect.DeepEqual(got, []string{"fableA", "fableB"}) {
+		t.Errorf("fox postings = %v", got)
+	}
+
+	sc1, _ := dram.SequenceCount()
+	sc2, _ := nvmEng.SequenceCount()
+	if !reflect.DeepEqual(sc1, sc2) {
+		t.Error("sequence counts disagree")
+	}
+	if sc1["the quick brown"] != 3 {
+		t.Errorf("sequence 'the quick brown' = %d", sc1["the quick brown"])
+	}
+
+	rii1, _ := dram.RankedInvertedIndex()
+	rii2, _ := nvmEng.RankedInvertedIndex()
+	if !reflect.DeepEqual(rii1, rii2) {
+		t.Error("ranked inverted indexes disagree")
+	}
+	if postings := rii1["the quick brown"]; len(postings) != 2 ||
+		postings[0].Doc != "fableA" || postings[0].Count != 2 {
+		t.Errorf("'the quick brown' postings = %v", postings)
+	}
+}
+
+func TestNoSequencesOption(t *testing.T) {
+	a := compressDocs(t)
+	e, err := NewEngine(a, Options{NoSequences: true})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	defer e.Close()
+	if _, err := e.SequenceCount(); err == nil {
+		t.Error("sequence task should fail without sequence support")
+	}
+	if _, err := e.WordCount(); err != nil {
+		t.Errorf("WordCount: %v", err)
+	}
+}
+
+func TestSSDAndHDDEngines(t *testing.T) {
+	a := compressDocs(t)
+	for _, m := range []Medium{MediumSSD, MediumHDD} {
+		e, err := NewEngine(a, Options{Medium: m, NoSequences: true})
+		if err != nil {
+			t.Fatalf("medium %d: %v", m, err)
+		}
+		wc, err := e.WordCount()
+		if err != nil || wc["fox"] != 4 {
+			t.Errorf("medium %d: fox = %d, %v", m, wc["fox"], err)
+		}
+		e.Close()
+	}
+}
+
+func TestOperationLevelEngine(t *testing.T) {
+	a := compressDocs(t)
+	e, err := NewEngine(a, Options{Persistence: OperationLevel, NoSequences: true})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	defer e.Close()
+	wc, err := e.WordCount()
+	if err != nil || wc["the"] != 4 {
+		t.Errorf("op-level WordCount: the=%d, %v", wc["the"], err)
+	}
+}
+
+func TestTopTerms(t *testing.T) {
+	a := compressDocs(t)
+	e, err := NewEngine(a, Options{Medium: MediumDRAM})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	top, err := e.TopTerms(2)
+	if err != nil {
+		t.Fatalf("TopTerms: %v", err)
+	}
+	// fox, quick, and the all occur 4 times; alphabetical tie-break puts
+	// fox then quick first.
+	if len(top) != 2 || top[0].Term != "fox" || top[1].Term != "quick" || top[0].Count != 4 {
+		t.Errorf("TopTerms = %v", top)
+	}
+}
+
+func TestPhaseTimesAndFootprint(t *testing.T) {
+	a := compressDocs(t)
+	e, err := NewEngine(a, Options{})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	defer e.Close()
+	if _, err := e.WordCount(); err != nil {
+		t.Fatal(err)
+	}
+	init, trav := e.PhaseTimes()
+	if init <= 0 || trav <= 0 {
+		t.Errorf("phase times = %v, %v", init, trav)
+	}
+	dev, dram := e.MemoryFootprint()
+	if dev <= 0 || dram <= 0 {
+		t.Errorf("footprint = %d, %d", dev, dram)
+	}
+
+	dramEng, _ := NewEngine(a, Options{Medium: MediumDRAM})
+	dramEng.WordCount()
+	dev2, dram2 := dramEng.MemoryFootprint()
+	if dev2 != 0 || dram2 <= 0 {
+		t.Errorf("DRAM engine footprint = %d, %d", dev2, dram2)
+	}
+}
+
+func TestCompressEmptyAndSingle(t *testing.T) {
+	a, err := Compress(nil)
+	if err != nil {
+		t.Fatalf("Compress(nil): %v", err)
+	}
+	if st := a.Stats(); st.Documents != 0 {
+		t.Errorf("Documents = %d", st.Documents)
+	}
+	a2, err := Compress([]Document{{Name: "one", Text: "hello"}})
+	if err != nil {
+		t.Fatalf("Compress(single): %v", err)
+	}
+	e, err := NewEngine(a2, Options{Medium: MediumDRAM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, _ := e.WordCount()
+	if wc["hello"] != 1 {
+		t.Errorf("hello = %d", wc["hello"])
+	}
+}
+
+func TestFileBackedPool(t *testing.T) {
+	a := compressDocs(t)
+	path := t.TempDir() + "/pool.nvm"
+	e, err := NewEngine(a, Options{PoolPath: path, NoSequences: true})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	if _, err := e.WordCount(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+package ntadoc
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// loadTestdata compresses the checked-in prose corpora, exercising the same
+// path as the CLI's compress command.
+func loadTestdata(t *testing.T) *Archive {
+	t.Helper()
+	paths, err := filepath.Glob("testdata/*.txt")
+	if err != nil || len(paths) < 3 {
+		t.Fatalf("testdata: %v (%d files)", err, len(paths))
+	}
+	docs := make([]Document, 0, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("read %s: %v", p, err)
+		}
+		docs = append(docs, Document{Name: filepath.Base(p), Text: string(data)})
+	}
+	a, err := Compress(docs)
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	return a
+}
+
+func TestTestdataEndToEnd(t *testing.T) {
+	a := loadTestdata(t)
+	st := a.Stats()
+	if st.Documents != 3 {
+		t.Fatalf("documents = %d", st.Documents)
+	}
+	if st.CompressionRate >= 1 {
+		t.Errorf("prose did not compress: %.2f", st.CompressionRate)
+	}
+
+	// Serialize to disk and back, as the CLI does.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corpus.tdc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.WriteTo(f); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	f.Close()
+	f2, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	a2, err := ReadArchive(f2)
+	if err != nil {
+		t.Fatalf("ReadArchive: %v", err)
+	}
+
+	// All engines agree on real prose.
+	nvmEng, err := NewEngine(a2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nvmEng.Close()
+	dramEng, err := NewEngine(a2, Options{Medium: MediumDRAM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc1, err := nvmEng.WordCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc2, err := dramEng.WordCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wc1, wc2) {
+		t.Error("engines disagree on testdata word count")
+	}
+	if wc1["the"] == 0 || wc1["and"] == 0 {
+		t.Errorf("implausible counts: the=%d and=%d", wc1["the"], wc1["and"])
+	}
+
+	inv, err := nvmEng.InvertedIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if docs := inv["alice"]; len(docs) != 1 || docs[0] != "carroll.txt" {
+		t.Errorf("alice postings = %v", docs)
+	}
+
+	seqs, err := nvmEng.SequenceCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqs["aunt polly"] != 0 { // bigram key cannot appear among trigrams
+		t.Error("bigram leaked into trigram results")
+	}
+	var sawPolly bool
+	for q := range seqs {
+		if strings.Contains(q, "aunt polly") {
+			sawPolly = true
+			break
+		}
+	}
+	if !sawPolly {
+		t.Error("no trigram containing 'aunt polly'")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	a := loadTestdata(t)
+	var buf bytes.Buffer
+	if err := a.WriteDOT(&buf); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph tadoc {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Errorf("not a DOT document:\n%.120s...", out)
+	}
+	if !strings.Contains(out, "r0") {
+		t.Error("missing root node")
+	}
+	if !strings.Contains(out, "->") {
+		t.Error("no edges in a compressed grammar's DAG")
+	}
+}
