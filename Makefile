@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the packages with real concurrency: the parallel
+# experiment harness and the device simulator it drives.
+race:
+	$(GO) test -race ./internal/harness/ ./internal/nvm/
+
+# One iteration of every benchmark, as a compile-and-run smoke test.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+check: build vet test race bench-smoke

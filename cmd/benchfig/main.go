@@ -23,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/debug"
+	"runtime/pprof"
 	"text/tabwriter"
 	"time"
 
@@ -38,7 +40,29 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "figure/table to regenerate (5a 5b 6 7 dram table2 phases traversal cross datasets prune all)")
 	scale := flag.Float64("scale", 1.0, "corpus scale factor in (0,1]")
+	parallel := flag.Int("parallel", 1, "experiment cells to run concurrently (modeled figures are unaffected; only wall-clock changes)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	benchrepeat := flag.Int("benchrepeat", 1, "repeat the selected figures this many times (wall-clock measurement)")
 	flag.Parse()
+
+	// Batch tool: the grid churns through large short-lived device images,
+	// so relax the GC target unless the user asked for something specific.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(400)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	harness.SetParallelism(*parallel)
 
 	specs := make([]datagen.Spec, len(datagen.Datasets))
 	for i, s := range datagen.Datasets {
@@ -61,20 +85,22 @@ func main() {
 	}
 	order := []string{"datasets", "prune", "5a", "5b", "6", "7", "dram", "table2", "phases", "traversal", "cross", "endurance"}
 
-	if *fig == "all" {
-		for _, name := range order {
-			if err := runners[name](specs); err != nil {
-				fatal(err)
+	for rep := 0; rep < *benchrepeat; rep++ {
+		if *fig == "all" {
+			for _, name := range order {
+				if err := runners[name](specs); err != nil {
+					fatal(err)
+				}
 			}
+			continue
 		}
-		return
-	}
-	run, ok := runners[*fig]
-	if !ok {
-		fatal(fmt.Errorf("unknown figure %q", *fig))
-	}
-	if err := run(specs); err != nil {
-		fatal(err)
+		run, ok := runners[*fig]
+		if !ok {
+			fatal(fmt.Errorf("unknown figure %q", *fig))
+		}
+		if err := run(specs); err != nil {
+			fatal(err)
+		}
 	}
 }
 
@@ -92,11 +118,35 @@ func newTab() *tabwriter.Writer {
 }
 
 // speedupMatrix runs every (dataset, task) cell with both runners and prints
-// other/self speedups.
+// other/self speedups.  Cells run up to -parallel at a time; results are
+// stored by cell index and printed serially afterwards, so the output is
+// byte-identical to a serial run.
 func speedupMatrix(title string, specs []datagen.Spec,
 	self func(*harness.Corpus, analytics.Task) (harness.Result, error),
 	other func(*harness.Corpus, analytics.Task) (harness.Result, error)) error {
 	header(title)
+	tasks := analytics.Tasks
+	sps := make([]float64, len(tasks)*len(specs))
+	err := harness.ForEachCell(len(sps), func(i int) error {
+		task, spec := tasks[i/len(specs)], specs[i%len(specs)]
+		c, err := harness.GetCorpus(spec)
+		if err != nil {
+			return err
+		}
+		rs, err := self(c, task)
+		if err != nil {
+			return err
+		}
+		ro, err := other(c, task)
+		if err != nil {
+			return err
+		}
+		sps[i] = rs.Speedup(ro)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
 	w := newTab()
 	fmt.Fprint(w, "task")
 	for _, s := range specs {
@@ -104,27 +154,13 @@ func speedupMatrix(title string, specs []datagen.Spec,
 	}
 	fmt.Fprintln(w, "\tmean")
 	var all []float64
-	for _, task := range analytics.Tasks {
+	for ti, task := range tasks {
 		fmt.Fprintf(w, "%s", task)
-		var row []float64
-		for _, spec := range specs {
-			c, err := harness.GetCorpus(spec)
-			if err != nil {
-				return err
-			}
-			rs, err := self(c, task)
-			if err != nil {
-				return err
-			}
-			ro, err := other(c, task)
-			if err != nil {
-				return err
-			}
-			sp := rs.Speedup(ro)
-			row = append(row, sp)
-			all = append(all, sp)
+		row := sps[ti*len(specs) : (ti+1)*len(specs)]
+		for _, sp := range row {
 			fmt.Fprintf(w, "\t%.2fx", sp)
 		}
+		all = append(all, row...)
 		fmt.Fprintf(w, "\t%.2fx\n", harness.GeoMean(row))
 	}
 	fmt.Fprintf(w, "overall\t\t\t\t\t%.2fx\n", harness.GeoMean(all))
@@ -161,6 +197,28 @@ func fig6(specs []datagen.Spec) error {
 	// Reported the paper's way: how many times slower N-TADOC is than the
 	// DRAM upper bound (TADOC) — slowdown = ntadoc/tadoc.
 	header("Fig 6: N-TADOC slowdown relative to TADOC on DRAM (1.0 = parity)")
+	tasks := analytics.Tasks
+	slows := make([]float64, len(tasks)*len(specs))
+	err := harness.ForEachCell(len(slows), func(i int) error {
+		task, spec := tasks[i/len(specs)], specs[i%len(specs)]
+		c, err := harness.GetCorpus(spec)
+		if err != nil {
+			return err
+		}
+		nt, err := harness.RunNTADOC(c, task, core.Options{})
+		if err != nil {
+			return err
+		}
+		td, err := harness.RunTADOC(c, task, tadoc.Auto)
+		if err != nil {
+			return err
+		}
+		slows[i] = td.Speedup(nt) // tadoc faster => >1
+		return nil
+	})
+	if err != nil {
+		return err
+	}
 	w := newTab()
 	fmt.Fprint(w, "task")
 	for _, s := range specs {
@@ -168,27 +226,13 @@ func fig6(specs []datagen.Spec) error {
 	}
 	fmt.Fprintln(w, "\tmean")
 	var all []float64
-	for _, task := range analytics.Tasks {
+	for ti, task := range tasks {
 		fmt.Fprintf(w, "%s", task)
-		var row []float64
-		for _, spec := range specs {
-			c, err := harness.GetCorpus(spec)
-			if err != nil {
-				return err
-			}
-			nt, err := harness.RunNTADOC(c, task, core.Options{})
-			if err != nil {
-				return err
-			}
-			td, err := harness.RunTADOC(c, task, tadoc.Auto)
-			if err != nil {
-				return err
-			}
-			slow := td.Speedup(nt) // tadoc faster => >1
-			row = append(row, slow)
-			all = append(all, slow)
+		row := slows[ti*len(specs) : (ti+1)*len(specs)]
+		for _, slow := range row {
 			fmt.Fprintf(w, "\t%.2fx", slow)
 		}
+		all = append(all, row...)
 		fmt.Fprintf(w, "\t%.2fx\n", harness.GeoMean(row))
 	}
 	fmt.Fprintf(w, "overall\t\t\t\t\t%.2fx\n", harness.GeoMean(all))
@@ -216,31 +260,49 @@ func fig7(specs []datagen.Spec) error {
 
 func figDRAM(specs []datagen.Spec) error {
 	header("§VI-C: DRAM space savings of N-TADOC vs TADOC (RSS analogue)")
+	tasks := analytics.Tasks
+	type dramCell struct {
+		tdBytes, ntBytes int64
+		saving           float64
+	}
+	cells := make([]dramCell, len(tasks)*len(specs))
+	err := harness.ForEachCell(len(cells), func(i int) error {
+		task, spec := tasks[i/len(specs)], specs[i%len(specs)]
+		c, err := harness.GetCorpus(spec)
+		if err != nil {
+			return err
+		}
+		td, err := harness.RunTADOC(c, task, tadoc.Auto)
+		if err != nil {
+			return err
+		}
+		nt, err := harness.RunNTADOC(c, task, core.Options{})
+		if err != nil {
+			return err
+		}
+		cells[i] = dramCell{
+			tdBytes: td.DRAMBytes,
+			ntBytes: nt.DRAMBytes,
+			saving:  1 - float64(nt.DRAMBytes)/float64(td.DRAMBytes),
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
 	w := newTab()
 	fmt.Fprintln(w, "task\tdataset\tTADOC DRAM\tN-TADOC DRAM\tsaving")
 	perDataset := map[string][]float64{}
 	perTask := map[analytics.Task][]float64{}
 	var all []float64
-	for _, task := range analytics.Tasks {
-		for _, spec := range specs {
-			c, err := harness.GetCorpus(spec)
-			if err != nil {
-				return err
-			}
-			td, err := harness.RunTADOC(c, task, tadoc.Auto)
-			if err != nil {
-				return err
-			}
-			nt, err := harness.RunNTADOC(c, task, core.Options{})
-			if err != nil {
-				return err
-			}
-			saving := 1 - float64(nt.DRAMBytes)/float64(td.DRAMBytes)
-			perDataset[spec.Name] = append(perDataset[spec.Name], saving)
-			perTask[task] = append(perTask[task], saving)
-			all = append(all, saving)
+	for ti, task := range tasks {
+		for si, spec := range specs {
+			cell := cells[ti*len(specs)+si]
+			perDataset[spec.Name] = append(perDataset[spec.Name], cell.saving)
+			perTask[task] = append(perTask[task], cell.saving)
+			all = append(all, cell.saving)
 			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%.1f%%\n",
-				task, spec.Name, fmtBytes(td.DRAMBytes), fmtBytes(nt.DRAMBytes), saving*100)
+				task, spec.Name, fmtBytes(cell.tdBytes), fmtBytes(cell.ntBytes), cell.saving*100)
 		}
 	}
 	w.Flush()
@@ -258,21 +320,31 @@ func figDRAM(specs []datagen.Spec) error {
 
 func figTable2(specs []datagen.Spec) error {
 	header("Table II: N-TADOC time breakdown (modeled milliseconds)")
-	w := newTab()
-	fmt.Fprintln(w, "dataset\tbenchmark\tinitial phase\ttraversal phase")
+	var sel []datagen.Spec
 	for _, spec := range specs {
-		if spec.Name != "C" && spec.Name != "D" {
-			continue
+		if spec.Name == "C" || spec.Name == "D" {
+			sel = append(sel, spec)
 		}
+	}
+	tasks := analytics.Tasks
+	cells := make([]harness.Result, len(sel)*len(tasks))
+	err := harness.ForEachCell(len(cells), func(i int) error {
+		spec, task := sel[i/len(tasks)], tasks[i%len(tasks)]
 		c, err := harness.GetCorpus(spec)
 		if err != nil {
 			return err
 		}
-		for _, task := range analytics.Tasks {
-			nt, err := harness.RunNTADOC(c, task, core.Options{})
-			if err != nil {
-				return err
-			}
+		cells[i], err = harness.RunNTADOC(c, task, core.Options{})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "dataset\tbenchmark\tinitial phase\ttraversal phase")
+	for si, spec := range sel {
+		for ti, task := range tasks {
+			nt := cells[si*len(tasks)+ti]
 			fmt.Fprintf(w, "%s\t%s\t%.2f\t%.2f\n",
 				spec.Name, task, ms(nt.Init), ms(nt.Traversal))
 		}
@@ -282,31 +354,44 @@ func figTable2(specs []datagen.Spec) error {
 
 func figPhases(specs []datagen.Spec) error {
 	header("§VI-D: per-phase speedups over uncompressed (datasets C and D)")
-	w := newTab()
-	fmt.Fprintln(w, "dataset\tbenchmark\tinit speedup\ttraversal speedup")
+	var sel []datagen.Spec
 	for _, spec := range specs {
-		if spec.Name != "C" && spec.Name != "D" {
-			continue
+		if spec.Name == "C" || spec.Name == "D" {
+			sel = append(sel, spec)
 		}
+	}
+	tasks := analytics.Tasks
+	type phaseCell struct{ is, ts float64 }
+	cells := make([]phaseCell, len(sel)*len(tasks))
+	err := harness.ForEachCell(len(cells), func(i int) error {
+		spec, task := sel[i/len(tasks)], tasks[i%len(tasks)]
 		c, err := harness.GetCorpus(spec)
 		if err != nil {
 			return err
 		}
+		nt, err := harness.RunNTADOC(c, task, core.Options{})
+		if err != nil {
+			return err
+		}
+		un, err := harness.RunUncompressed(c, task, nvm.KindNVM)
+		if err != nil {
+			return err
+		}
+		cells[i] = phaseCell{is: ratio(un.Init, nt.Init), ts: ratio(un.Traversal, nt.Traversal)}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "dataset\tbenchmark\tinit speedup\ttraversal speedup")
+	for si, spec := range sel {
 		var initS, travS []float64
-		for _, task := range analytics.Tasks {
-			nt, err := harness.RunNTADOC(c, task, core.Options{})
-			if err != nil {
-				return err
-			}
-			un, err := harness.RunUncompressed(c, task, nvm.KindNVM)
-			if err != nil {
-				return err
-			}
-			is := ratio(un.Init, nt.Init)
-			ts := ratio(un.Traversal, nt.Traversal)
-			initS = append(initS, is)
-			travS = append(travS, ts)
-			fmt.Fprintf(w, "%s\t%s\t%.2fx\t%.2fx\n", spec.Name, task, is, ts)
+		for ti, task := range tasks {
+			cell := cells[si*len(tasks)+ti]
+			initS = append(initS, cell.is)
+			travS = append(travS, cell.ts)
+			fmt.Fprintf(w, "%s\t%s\t%.2fx\t%.2fx\n", spec.Name, task, cell.is, cell.ts)
 		}
 		fmt.Fprintf(w, "%s\taverage\t%.2fx\t%.2fx\n", spec.Name,
 			harness.GeoMean(initS), harness.GeoMean(travS))
@@ -325,26 +410,40 @@ func figTraversal(specs []datagen.Spec) error {
 	// The top-down penalty grows with file count (the paper reports
 	// ~1000x at its full 134k-file scale); show the trend across three
 	// file counts.
-	w := newTab()
-	fmt.Fprintln(w, "files\tbenchmark\ttop-down traversal\tbottom-up traversal\tbottom-up advantage")
-	for _, frac := range []int{4, 2, 1} {
+	fracs := []int{4, 2, 1}
+	tasks := []analytics.Task{analytics.TermVector, analytics.InvertedIndex}
+	type travCell struct{ td, bu harness.Result }
+	cells := make([]travCell, len(fracs)*len(tasks))
+	err := harness.ForEachCell(len(cells), func(i int) error {
 		spec := specB
-		spec.Files = specB.Files / frac
+		spec.Files = specB.Files / fracs[i/len(tasks)]
+		task := tasks[i%len(tasks)]
 		c, err := harness.GetCorpus(spec)
 		if err != nil {
 			return err
 		}
-		for _, task := range []analytics.Task{analytics.TermVector, analytics.InvertedIndex} {
-			td, err := harness.RunNTADOC(c, task, core.Options{Strategy: core.TopDown})
-			if err != nil {
-				return err
-			}
-			bu, err := harness.RunNTADOC(c, task, core.Options{Strategy: core.BottomUp})
-			if err != nil {
-				return err
-			}
+		td, err := harness.RunNTADOC(c, task, core.Options{Strategy: core.TopDown})
+		if err != nil {
+			return err
+		}
+		bu, err := harness.RunNTADOC(c, task, core.Options{Strategy: core.BottomUp})
+		if err != nil {
+			return err
+		}
+		cells[i] = travCell{td: td, bu: bu}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "files\tbenchmark\ttop-down traversal\tbottom-up traversal\tbottom-up advantage")
+	for fi, frac := range fracs {
+		for ti, task := range tasks {
+			cell := cells[fi*len(tasks)+ti]
 			fmt.Fprintf(w, "%d\t%s\t%.2f ms\t%.2f ms\t%.1fx\n",
-				spec.Files, task, ms(td.Traversal), ms(bu.Traversal), ratio(td.Traversal, bu.Traversal))
+				specB.Files/frac, task, ms(cell.td.Traversal), ms(cell.bu.Traversal),
+				ratio(cell.td.Traversal, cell.bu.Traversal))
 		}
 	}
 	return w.Flush()
@@ -352,8 +451,6 @@ func figTraversal(specs []datagen.Spec) error {
 
 func figCross(specs []datagen.Spec) error {
 	header("§III-B / §VI-F: naive NVM port and cross-evaluation")
-	w := newTab()
-	fmt.Fprintln(w, "dataset\tnaive port slowdown vs TADOC\tN-TADOC speedup vs naive port")
 	// The §III-B naive port: std structures pointed at NVM through a
 	// transactional allocator — untrimmed bodies, growable tables, no
 	// layout control, and a PMDK-style transaction per mutation.
@@ -361,9 +458,10 @@ func figCross(specs []datagen.Spec) error {
 		NoPruning: true, NoBounds: true, Scatter: true,
 		Persistence: core.OpLevel, PerOpCommit: true,
 	}
-	var slows, speeds []float64
-	for _, spec := range specs {
-		c, err := harness.GetCorpus(spec)
+	type crossCell struct{ slow, speed float64 }
+	cells := make([]crossCell, len(specs))
+	err := harness.ForEachCell(len(cells), func(i int) error {
+		c, err := harness.GetCorpus(specs[i])
 		if err != nil {
 			return err
 		}
@@ -380,11 +478,19 @@ func figCross(specs []datagen.Spec) error {
 		if err != nil {
 			return err
 		}
-		slow := td.Speedup(np)
-		speed := nt.Speedup(np)
-		slows = append(slows, slow)
-		speeds = append(speeds, speed)
-		fmt.Fprintf(w, "%s\t%.2fx\t%.2fx\n", spec.Name, slow, speed)
+		cells[i] = crossCell{slow: td.Speedup(np), speed: nt.Speedup(np)}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "dataset\tnaive port slowdown vs TADOC\tN-TADOC speedup vs naive port")
+	var slows, speeds []float64
+	for i, spec := range specs {
+		slows = append(slows, cells[i].slow)
+		speeds = append(speeds, cells[i].speed)
+		fmt.Fprintf(w, "%s\t%.2fx\t%.2fx\n", spec.Name, cells[i].slow, cells[i].speed)
 	}
 	fmt.Fprintf(w, "mean\t%.2fx\t%.2fx\n", harness.GeoMean(slows), harness.GeoMean(speeds))
 	return w.Flush()
@@ -392,14 +498,22 @@ func figCross(specs []datagen.Spec) error {
 
 func figDatasets(specs []datagen.Spec) error {
 	header("Table I analogue: dataset statistics (scaled synthetic corpora)")
-	w := newTab()
-	fmt.Fprintln(w, "dataset\tfile#\trule#\tvocabulary\ttokens\tcompressed symbols\tratio")
-	for _, spec := range specs {
-		c, err := harness.GetCorpus(spec)
+	stats := make([]cfg.Stats, len(specs))
+	err := harness.ForEachCell(len(specs), func(i int) error {
+		c, err := harness.GetCorpus(specs[i])
 		if err != nil {
 			return err
 		}
-		st := c.G.ComputeStats()
+		stats[i] = c.G.ComputeStats()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "dataset\tfile#\trule#\tvocabulary\ttokens\tcompressed symbols\tratio")
+	for i, spec := range specs {
+		st := stats[i]
 		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%.3f\n",
 			spec.Name, st.Files, st.Rules, st.Vocabulary, st.Expanded,
 			st.BodySymbols, float64(st.BodySymbols)/float64(st.Expanded))
@@ -409,14 +523,24 @@ func figDatasets(specs []datagen.Spec) error {
 
 func figPrune(specs []datagen.Spec) error {
 	header("§IV-B: grammar redundancy eliminated by pruning")
-	w := newTab()
-	fmt.Fprintln(w, "dataset\traw body bytes\tpruned body bytes\teliminated")
-	for _, spec := range specs {
-		c, err := harness.GetCorpus(spec)
+	type pruneCell struct{ raw, pruned int64 }
+	cells := make([]pruneCell, len(specs))
+	err := harness.ForEachCell(len(specs), func(i int) error {
+		c, err := harness.GetCorpus(specs[i])
 		if err != nil {
 			return err
 		}
 		raw, pruned := pruneSizes(c.G)
+		cells[i] = pruneCell{raw: raw, pruned: pruned}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "dataset\traw body bytes\tpruned body bytes\teliminated")
+	for i, spec := range specs {
+		raw, pruned := cells[i].raw, cells[i].pruned
 		fmt.Fprintf(w, "%s\t%s\t%s\t%.1f%%\n",
 			spec.Name, fmtBytes(raw), fmtBytes(pruned), (1-float64(pruned)/float64(raw))*100)
 	}
@@ -428,14 +552,14 @@ func figPrune(specs []datagen.Spec) error {
 // count, for N-TADOC under both persistence strategies and the naive port.
 func figEndurance(specs []datagen.Spec) error {
 	header("§VII: NVM write traffic per word-count run (media granules written)")
-	w := newTab()
-	fmt.Fprintln(w, "dataset\tN-TADOC phase-level\tN-TADOC op-level\tnaive port\tnaive amplification")
 	naive := core.Options{
 		NoPruning: true, NoBounds: true, Scatter: true,
 		Persistence: core.OpLevel, PerOpCommit: true,
 	}
-	for _, spec := range specs {
-		c, err := harness.GetCorpus(spec)
+	type endCell struct{ pl, ol, nv int64 }
+	cells := make([]endCell, len(specs))
+	err := harness.ForEachCell(len(cells), func(i int) error {
+		c, err := harness.GetCorpus(specs[i])
 		if err != nil {
 			return err
 		}
@@ -447,19 +571,28 @@ func figEndurance(specs []datagen.Spec) error {
 			// Granules made durable: flush traffic is what wears media.
 			return r.Device.FlushedBytes / 256, nil
 		}
-		pl, err := writes(core.Options{})
-		if err != nil {
+		var cell endCell
+		if cell.pl, err = writes(core.Options{}); err != nil {
 			return err
 		}
-		ol, err := writes(core.Options{Persistence: core.OpLevel})
-		if err != nil {
+		if cell.ol, err = writes(core.Options{Persistence: core.OpLevel}); err != nil {
 			return err
 		}
-		nv, err := writes(naive)
-		if err != nil {
+		if cell.nv, err = writes(naive); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1fx\n", spec.Name, pl, ol, nv, float64(nv)/float64(pl))
+		cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "dataset\tN-TADOC phase-level\tN-TADOC op-level\tnaive port\tnaive amplification")
+	for i, spec := range specs {
+		cell := cells[i]
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1fx\n",
+			spec.Name, cell.pl, cell.ol, cell.nv, float64(cell.nv)/float64(cell.pl))
 	}
 	return w.Flush()
 }

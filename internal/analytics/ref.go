@@ -1,7 +1,9 @@
 package analytics
 
 import (
-	"sort"
+	"cmp"
+	"slices"
+	"strings"
 
 	"github.com/text-analytics/ntadoc/internal/dict"
 )
@@ -37,8 +39,8 @@ func RefSort(files [][]uint32, d *dict.Dictionary) []WordFreq {
 // SortAlphabetical orders (word, freq) pairs by the word strings, the final
 // step shared by every engine's sort task.
 func SortAlphabetical(wf []WordFreq, d *dict.Dictionary) {
-	sort.Slice(wf, func(i, j int) bool {
-		return d.Word(wf[i].Word) < d.Word(wf[j].Word)
+	slices.SortFunc(wf, func(a, b WordFreq) int {
+		return strings.Compare(d.Word(a.Word), d.Word(b.Word))
 	})
 }
 
@@ -63,11 +65,18 @@ func TermVectorOf(counts map[uint32]uint64, k int) []WordFreq {
 	for w, c := range counts {
 		vec = append(vec, WordFreq{Word: w, Freq: c})
 	}
-	sort.Slice(vec, func(i, j int) bool {
-		if vec[i].Freq != vec[j].Freq {
-			return vec[i].Freq > vec[j].Freq
+	return TermVectorSorted(vec, k)
+}
+
+// TermVectorSorted orders an already-built word-frequency slice in place into
+// the canonical term-vector ordering (descending frequency, ascending word ID
+// on ties) and truncates it to k when k > 0.
+func TermVectorSorted(vec []WordFreq, k int) []WordFreq {
+	slices.SortFunc(vec, func(a, b WordFreq) int {
+		if a.Freq != b.Freq {
+			return cmp.Compare(b.Freq, a.Freq)
 		}
-		return vec[i].Word < vec[j].Word
+		return cmp.Compare(a.Word, b.Word)
 	})
 	if k > 0 && len(vec) > k {
 		vec = vec[:k]
@@ -92,7 +101,7 @@ func RefInvertedIndex(files [][]uint32) map[uint32][]uint32 {
 	// Docs were appended in ascending order already; keep the invariant
 	// explicit for mutated inputs.
 	for w := range out {
-		sort.Slice(out[w], func(i, j int) bool { return out[w][i] < out[w][j] })
+		slices.Sort(out[w])
 	}
 	return out
 }
@@ -140,11 +149,17 @@ func RankPostings(m map[uint32]uint64) []DocFreq {
 	for doc, c := range m {
 		postings = append(postings, DocFreq{Doc: doc, Freq: c})
 	}
-	sort.Slice(postings, func(i, j int) bool {
-		if postings[i].Freq != postings[j].Freq {
-			return postings[i].Freq > postings[j].Freq
+	return RankPostingsSorted(postings)
+}
+
+// RankPostingsSorted orders an already-built postings slice in place into the
+// canonical ranking: descending frequency, ascending document on ties.
+func RankPostingsSorted(postings []DocFreq) []DocFreq {
+	slices.SortFunc(postings, func(a, b DocFreq) int {
+		if a.Freq != b.Freq {
+			return cmp.Compare(b.Freq, a.Freq)
 		}
-		return postings[i].Doc < postings[j].Doc
+		return cmp.Compare(a.Doc, b.Doc)
 	})
 	return postings
 }

@@ -1,9 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"github.com/text-analytics/ntadoc/internal/analytics"
 	"github.com/text-analytics/ntadoc/internal/cfg"
@@ -55,6 +56,14 @@ type Engine struct {
 	travDirty  map[int64]bool
 
 	dramExtra int64 // DRAM estimate of engine-held maps beyond the pool
+
+	// Traversal scratch, reused across body reads.  Valid only until the
+	// next read of the same kind; no caller retains these slices.
+	bodyFlat  []uint32
+	bodySubs  []pair
+	bodyWords []pair
+	rawSyms   []cfg.Symbol
+	edgeToks  []uint32
 }
 
 var _ analytics.Engine = (*Engine)(nil)
@@ -225,13 +234,29 @@ func preprocess(g *cfg.Grammar, opts Options) (*prepState, error) {
 		// Interning: the weighted-locals decomposition covers every
 		// sequence of the corpus, so the locals' keys (including the
 		// root's own windows in locals[0]) are the complete dictionary.
+		// Keys are interned in sorted order per rule: ID assignment fixes
+		// the durable table layouts, so it must not inherit Go map
+		// iteration order or modeled device stats would vary per run.
 		p.seqIDs = make(map[analytics.Seq]uint32)
+		var keys []analytics.Seq
 		for _, local := range p.locals {
+			keys = keys[:0]
 			for q := range local {
 				if _, ok := p.seqIDs[q]; !ok {
-					p.seqIDs[q] = uint32(len(p.seqList))
-					p.seqList = append(p.seqList, q)
+					keys = append(keys, q)
 				}
+			}
+			slices.SortFunc(keys, func(a, b analytics.Seq) int {
+				for t := 0; t < analytics.SeqLen; t++ {
+					if a[t] != b[t] {
+						return cmp.Compare(a[t], b[t])
+					}
+				}
+				return 0
+			})
+			for _, q := range keys {
+				p.seqIDs[q] = uint32(len(p.seqList))
+				p.seqList = append(p.seqList, q)
 			}
 		}
 	}
@@ -540,7 +565,7 @@ func bucketPairs(buckets map[uint32]uint32) []pair {
 	for id, f := range buckets {
 		out = append(out, pair{id: id, freq: f})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	slices.SortFunc(out, func(a, b pair) int { return cmp.Compare(a.id, b.id) })
 	return out
 }
 
@@ -600,8 +625,8 @@ func (e *Engine) initSequences(p *prepState) error {
 		if err != nil {
 			return err
 		}
-		for q, c := range info.Counts {
-			if _, err := tbl.Add(uint64(e.seqIDs[q]), c); err != nil {
+		for _, kv := range e.sortedSeqEntries(info.Counts) {
+			if _, err := tbl.Add(uint64(kv.id), kv.count); err != nil {
 				return err
 			}
 		}
@@ -625,14 +650,34 @@ func (e *Engine) initSequences(p *prepState) error {
 		if err != nil {
 			return err
 		}
-		for q, c := range local {
-			if _, err := tbl.Add(uint64(e.seqIDs[q]), c); err != nil {
+		for _, kv := range e.sortedSeqEntries(local) {
+			if _, err := tbl.Add(uint64(kv.id), kv.count); err != nil {
 				return err
 			}
 		}
 		localsAcc.PutUint64(int64(ri)*8, uint64(tbl.Base()))
 	}
 	return nil
+}
+
+// seqEntry is one interned sequence's count, keyed by its dictionary ID.
+type seqEntry struct {
+	id    uint32
+	count uint64
+}
+
+// sortedSeqEntries converts a DRAM count map to (ID, count) pairs in
+// ascending ID order.  Pool tables must be populated in a deterministic
+// order: insertion order fixes each key's probe chain in the durable layout,
+// and with it the read charges of every later lookup, so iterating the Go
+// map directly would make modeled device stats vary from run to run.
+func (e *Engine) sortedSeqEntries(counts map[analytics.Seq]uint64) []seqEntry {
+	out := make([]seqEntry, 0, len(counts))
+	for q, c := range counts {
+		out = append(out, seqEntry{id: e.seqIDs[q], count: c})
+	}
+	slices.SortFunc(out, func(a, b seqEntry) int { return cmp.Compare(a.id, b.id) })
+	return out
 }
 
 // counterTable is the engine-side counter surface (see pstruct.Counter).
@@ -704,8 +749,9 @@ func (e *Engine) NVMBytes() int64 { return e.pool.Allocated() }
 // savings (§VI-C).
 func (e *Engine) DRAMBytes() int64 { return e.dramExtra + 4096 }
 
-// Close releases the device.
-func (e *Engine) Close() error { return e.dev.Close() }
+// Close releases the device, recycling its simulation buffers.  The engine
+// must not be used after Close.
+func (e *Engine) Close() error { return e.dev.Discard() }
 
 // resolveStrategy applies Auto selection.
 func (e *Engine) resolveStrategy() Strategy {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"hash/crc32"
+	"slices"
 
 	"github.com/text-analytics/ntadoc/internal/nvm"
 )
@@ -112,7 +113,15 @@ func (l *opLog) commit() error {
 // compact flushes the traversal tables dirtied since the last compaction
 // (making their state durable) and restarts the log.
 func (l *opLog) compact(e *Engine) error {
+	// Flush in ascending offset order: on seek-charging devices the flush
+	// order is observable in the modeled stats, and map order would make
+	// them vary from run to run.
+	dirty := make([]int64, 0, len(e.travDirty))
 	for off := range e.travDirty {
+		dirty = append(dirty, off)
+	}
+	slices.Sort(dirty)
+	for _, off := range dirty {
 		tbl, ok := e.travTables[off]
 		if !ok {
 			continue // growable ablation table; covered by its own writes

@@ -21,11 +21,15 @@ type edgeInfo struct {
 	tokens []uint32
 }
 
-// readEdge fetches rule r's edge record.
+// readEdge fetches rule r's edge record.  The returned token slice is
+// scratch, valid only until the next readEdge call.
 func (e *Engine) readEdge(r uint32) edgeInfo {
 	rec := e.edgesAcc.Slice(int64(r)*edgeSize, edgeSize)
 	n := int64(rec.Byte(edgeCount))
-	toks := make([]uint32, n)
+	if int64(cap(e.edgeToks)) < n {
+		e.edgeToks = make([]uint32, n)
+	}
+	toks := e.edgeToks[:n]
 	rec.Uint32s(edgeTokens, toks)
 	return edgeInfo{
 		length: int64(rec.Uint64(edgeLen)),
@@ -326,17 +330,16 @@ func (e *Engine) RankedInvertedIndex() (map[analytics.Seq][]analytics.DocFreq, e
 	}
 	span := e.beginTraversal()
 	root := e.readRoot()
-	perDoc := make(map[analytics.Seq]map[uint32]uint64)
+	// Documents are collected in ascending order and each (sequence, doc)
+	// pair is produced exactly once, so postings can be appended directly in
+	// their final pre-sort order.  Counter keys are indexes into seqList
+	// (whose entries are distinct), so the accumulator is a plain slice —
+	// no map operations on the per-entry path.
+	perDoc := make([][]analytics.DocFreq, len(e.seqList))
 	collect := func(doc uint32, counter counterTable) {
 		e.meter.Charge(counter.Len(), metrics.CostHashOp)
 		counter.Range(func(k, v uint64) bool {
-			q := e.seqList[uint32(k)]
-			m := perDoc[q]
-			if m == nil {
-				m = make(map[uint32]uint64)
-				perDoc[q] = m
-			}
-			m[doc] = v
+			perDoc[uint32(k)] = append(perDoc[uint32(k)], analytics.DocFreq{Doc: doc, Freq: v})
 			return true
 		})
 	}
@@ -408,9 +411,12 @@ func (e *Engine) RankedInvertedIndex() (map[analytics.Seq][]analytics.DocFreq, e
 	}
 
 	out := make(map[analytics.Seq][]analytics.DocFreq, len(perDoc))
-	for q, m := range perDoc {
-		e.meter.Charge(int64(len(m)), metrics.CostSortEntry)
-		out[q] = analytics.RankPostings(m)
+	for k, postings := range perDoc {
+		if len(postings) == 0 {
+			continue
+		}
+		e.meter.Charge(int64(len(postings)), metrics.CostSortEntry)
+		out[e.seqList[k]] = analytics.RankPostingsSorted(postings)
 	}
 	if err := e.endTraversal(span, analytics.RankedInvertedIndex, 0); err != nil {
 		return nil, errEngine("ranked inverted index", err)

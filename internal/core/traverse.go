@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"github.com/text-analytics/ntadoc/internal/analytics"
 	"github.com/text-analytics/ntadoc/internal/cfg"
@@ -26,8 +26,13 @@ func (e *Engine) beginTraversal() *metrics.Span {
 // recorded, and the pool is checkpointed (phase-level persistence; the
 // operation-level log has already made each mutation durable).
 func (e *Engine) endTraversal(span *metrics.Span, task analytics.Task, resultOff int64) error {
-	for _, tbl := range e.travTables {
-		tbl.SyncLen() // counts ride along with the checkpoint flush below
+	offs := make([]int64, 0, len(e.travTables))
+	for off := range e.travTables {
+		offs = append(offs, off)
+	}
+	slices.Sort(offs)
+	for _, off := range offs {
+		e.travTables[off].SyncLen() // counts ride along with the checkpoint flush below
 	}
 	e.pool.SetRoot(rootResult, resultOff)
 	e.pool.SetRoot(rootTaskID, int64(task))
@@ -110,11 +115,20 @@ func (e *Engine) readBodyPairs(r uint32) (subs, words []pair) {
 	bodyOff := m.bodyOff()
 	hdr := e.pool.AccessorAt(bodyOff, 4)
 	n := int64(hdr.Uint32(0))
-	flat := make([]uint32, n)
+	if int64(cap(e.bodyFlat)) < n {
+		e.bodyFlat = make([]uint32, n)
+	}
+	flat := e.bodyFlat[:n]
 	e.pool.AccessorAt(bodyOff+4, n*4).Uint32s(0, flat)
 	e.meter.Charge(ns+nw, metrics.CostScanToken)
-	subs = make([]pair, ns)
-	words = make([]pair, nw)
+	if int64(cap(e.bodySubs)) < ns {
+		e.bodySubs = make([]pair, ns)
+	}
+	if int64(cap(e.bodyWords)) < nw {
+		e.bodyWords = make([]pair, nw)
+	}
+	subs = e.bodySubs[:ns]
+	words = e.bodyWords[:nw]
 	pos := 0
 	for i := int64(0); i < ns+nw; i++ {
 		id := flat[pos]
@@ -141,10 +155,16 @@ func (e *Engine) readRawBody(r uint32) []cfg.Symbol {
 	if n == 0 {
 		return nil
 	}
-	flat := make([]uint32, n)
+	if int64(cap(e.bodyFlat)) < n {
+		e.bodyFlat = make([]uint32, n)
+	}
+	flat := e.bodyFlat[:n]
 	e.pool.AccessorAt(m.bodyOff(), n*4).Uint32s(0, flat)
 	e.meter.Charge(n, metrics.CostScanToken)
-	out := make([]cfg.Symbol, n)
+	if int64(cap(e.rawSyms)) < n {
+		e.rawSyms = make([]cfg.Symbol, n)
+	}
+	out := e.rawSyms[:n]
 	for i, v := range flat {
 		out[i] = cfg.Symbol(v)
 	}
@@ -536,8 +556,7 @@ func (e *Engine) InvertedIndex() (map[uint32][]uint32, error) {
 		return nil, errEngine("inverted index", err)
 	}
 	for w := range out {
-		s := out[w]
-		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		slices.Sort(out[w])
 	}
 	if err := e.endTraversal(span, analytics.InvertedIndex, 0); err != nil {
 		return nil, errEngine("inverted index", err)

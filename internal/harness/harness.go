@@ -32,19 +32,37 @@ type Corpus struct {
 	CompressedBytes int64 // serialized grammar size (the on-disk input)
 }
 
+// corpusEntry is one cache slot: built at most once, awaited by every other
+// caller of the same spec.  Holding a per-entry Once instead of the cache
+// mutex during the (expensive) build lets concurrent grid cells construct
+// different corpora at the same time.
+type corpusEntry struct {
+	once sync.Once
+	c    *Corpus
+	err  error
+}
+
 var (
 	corpusMu    sync.Mutex
-	corpusCache = map[string]*Corpus{}
+	corpusCache = map[string]*corpusEntry{}
 )
 
-// GetCorpus builds (or returns the cached) corpus for a spec.
+// GetCorpus builds (or returns the cached) corpus for a spec.  It is safe
+// for concurrent use: parallel grid cells that share a spec share one build.
 func GetCorpus(spec datagen.Spec) (*Corpus, error) {
 	key := fmt.Sprintf("%s/%d/%d/%d", spec.Name, spec.Files, spec.TokensPer, spec.Vocab)
 	corpusMu.Lock()
-	defer corpusMu.Unlock()
-	if c, ok := corpusCache[key]; ok {
-		return c, nil
+	e, ok := corpusCache[key]
+	if !ok {
+		e = &corpusEntry{}
+		corpusCache[key] = e
 	}
+	corpusMu.Unlock()
+	e.once.Do(func() { e.c, e.err = buildCorpus(spec) })
+	return e.c, e.err
+}
+
+func buildCorpus(spec datagen.Spec) (*Corpus, error) {
 	files, d := spec.GenerateWithDict()
 	g, err := sequitur.Infer(files, uint32(d.Len()))
 	if err != nil {
@@ -58,9 +76,58 @@ func GetCorpus(spec datagen.Spec) (*Corpus, error) {
 	if _, err := g.WriteTo(&cw); err != nil {
 		return nil, err
 	}
-	c := &Corpus{Spec: spec, Files: files, Dict: d, G: g, Bytes: bytes, CompressedBytes: cw.n}
-	corpusCache[key] = c
-	return c, nil
+	return &Corpus{Spec: spec, Files: files, Dict: d, G: g, Bytes: bytes, CompressedBytes: cw.n}, nil
+}
+
+// parallelism is the experiment-grid concurrency level (≥ 1).  Each grid
+// cell owns its own SimDevice and engine, so cells are independent; only
+// wall-clock time changes with this setting — modeled figures do not.
+var parallelism = 1
+
+// SetParallelism sets how many experiment-grid cells run concurrently.
+// Values below 1 are treated as 1 (serial).
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	parallelism = n
+}
+
+// Parallelism reports the configured grid concurrency.
+func Parallelism() int { return parallelism }
+
+// ForEachCell runs fn(i) for every i in [0, n), at most Parallelism() cells
+// concurrently, and returns the first error by cell order.  Callers store
+// results indexed by i and print them serially afterwards, so output is
+// byte-identical to a serial run.
+func ForEachCell(n int, fn func(i int) error) error {
+	if parallelism <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // countWriter measures serialized size without storing it.
@@ -162,7 +229,7 @@ func RunUncompressed(c *Corpus, task analytics.Task, kind nvm.Kind) (Result, err
 		model = model.WithCacheBytes(c.Bytes / 5)
 	}
 	dev := nvm.NewWithModel(kind, uncomp.RequiredSize(c.Files)+4096, model)
-	defer dev.Close()
+	defer dev.Discard()
 
 	// The meter lives on the engine; the init span attaches after Load.
 	initWall := metrics.Start(nil, nil)

@@ -131,3 +131,74 @@ func TestDiskReadNanosScalesWithBytes(t *testing.T) {
 		t.Errorf("diskReadNanos: 4K=%v 40K=%v", small, big)
 	}
 }
+
+// deterministicFields strips the wall-clock-dependent fields from a Result,
+// keeping only what the cost model fully determines.
+func deterministicFields(r Result) Result {
+	r.Init, r.Traversal, r.Total = 0, 0, 0
+	r.InitWall, r.TravWall = 0, 0
+	return r
+}
+
+// TestConcurrentRunsMatchSerial runs the same NTADOC cells serially and then
+// concurrently on different corpora and requires every modeled quantity —
+// phase modeled times, memory footprints, and the full device Stats — to be
+// bit-identical.  Cells own their devices, so concurrency may only change
+// wall-clock.  Run under -race this also proves the cells share no device
+// state.
+func TestConcurrentRunsMatchSerial(t *testing.T) {
+	specA := datagen.DatasetA.Scaled(0.05)
+	specB := datagen.DatasetB.Scaled(0.05)
+	ca, err := GetCorpus(specA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := GetCorpus(specB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type cell struct {
+		c    *Corpus
+		task analytics.Task
+	}
+	cells := []cell{
+		{ca, analytics.WordCount},
+		{cb, analytics.WordCount},
+		{ca, analytics.SequenceCount},
+		{cb, analytics.SequenceCount},
+	}
+
+	serial := make([]Result, len(cells))
+	for i, cl := range cells {
+		r, err := RunNTADOC(cl.c, cl.task, core.Options{})
+		if err != nil {
+			t.Fatalf("serial cell %d: %v", i, err)
+		}
+		serial[i] = r
+	}
+
+	old := Parallelism()
+	SetParallelism(len(cells))
+	defer SetParallelism(old)
+
+	concurrent := make([]Result, len(cells))
+	err = ForEachCell(len(cells), func(i int) error {
+		r, err := RunNTADOC(cells[i].c, cells[i].task, core.Options{})
+		if err != nil {
+			return err
+		}
+		concurrent[i] = r
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("concurrent: %v", err)
+	}
+
+	for i := range cells {
+		s, c := deterministicFields(serial[i]), deterministicFields(concurrent[i])
+		if s != c {
+			t.Errorf("cell %d: concurrent result diverged\nserial:     %+v\nconcurrent: %+v", i, s, c)
+		}
+	}
+}

@@ -1,15 +1,13 @@
 package nvm
 
-import "sync"
-
 // deviceCache simulates the small cache that sits in front of the media: the
 // on-DIMM XPBuffer for Optane, a last-level-cache slice for DRAM, the OS page
 // cache for block devices.  It is a set-associative tag array with LRU
 // replacement inside each set.  Only tags are kept — the data itself lives in
 // the device's backing buffer — so the cache purely decides whether an access
-// is charged hit or miss cost.
+// is charged hit or miss cost.  Like the device that owns it, it is
+// unsynchronized: one goroutine per device.
 type deviceCache struct {
-	mu    sync.Mutex
 	sets  []cacheSet
 	nsets int64
 	ways  int
@@ -51,8 +49,6 @@ func newDeviceCache(capacity, granule int64, ways int) *deviceCache {
 // access looks up granule g, inserting it on a miss.  It reports whether the
 // access hit.
 func (c *deviceCache) access(g int64) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	set := &c.sets[g%c.nsets]
 	for i, t := range set.tags {
 		if t == g {
@@ -71,8 +67,6 @@ func (c *deviceCache) access(g int64) bool {
 // invalidate drops granule g if present.  Used when a flush pushes a line out
 // toward media on write-through block devices.
 func (c *deviceCache) invalidate(g int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	set := &c.sets[g%c.nsets]
 	for i, t := range set.tags {
 		if t == g {
@@ -85,8 +79,6 @@ func (c *deviceCache) invalidate(g int64) {
 
 // reset empties the cache.
 func (c *deviceCache) reset() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	for i := range c.sets {
 		for j := range c.sets[i].tags {
 			c.sets[i].tags[j] = -1

@@ -17,7 +17,6 @@ package nvm
 import (
 	"errors"
 	"fmt"
-	"sync/atomic"
 )
 
 // Kind identifies the simulated medium.
@@ -66,9 +65,10 @@ var (
 )
 
 // Device is a simulated storage medium.  Offsets are byte addresses from the
-// start of the device.  Implementations are safe for concurrent readers;
-// concurrent writers must coordinate on disjoint ranges (the same contract as
-// raw persistent memory).
+// start of the device.  A device is owned by one goroutine at a time: access
+// charging and statistics are deliberately unsynchronized so the simulator
+// adds no lock or atomic traffic to every modeled access.  Concurrent
+// experiment cells each own their own device (see internal/harness).
 type Device interface {
 	// ReadAt copies len(p) bytes at off into p, charging modeled read cost.
 	ReadAt(p []byte, off int64) (int, error)
@@ -152,47 +152,38 @@ func (s Stats) Sub(o Stats) Stats {
 	}
 }
 
-// counters is the atomic backing store for Stats, embedded by devices.
+// counters is the backing store for Stats, embedded by devices.  Plain
+// fields, not atomics: a device belongs to one goroutine (see Device), and
+// every modeled access updates several of these, so atomic traffic here is
+// pure overhead.
 type counters struct {
-	reads, writes               atomic.Int64
-	bytesRead, bytesWritten     atomic.Int64
-	granuleReads, granuleWrites atomic.Int64
-	cacheHits, cacheMisses      atomic.Int64
-	flushes, flushedBytes       atomic.Int64
-	drains, seeks               atomic.Int64
-	modeledNanos                atomic.Int64
+	reads, writes               int64
+	bytesRead, bytesWritten     int64
+	granuleReads, granuleWrites int64
+	cacheHits, cacheMisses      int64
+	flushes, flushedBytes       int64
+	drains, seeks               int64
+	modeledNanos                int64
 }
 
 func (c *counters) snapshot() Stats {
 	return Stats{
-		Reads:         c.reads.Load(),
-		Writes:        c.writes.Load(),
-		BytesRead:     c.bytesRead.Load(),
-		BytesWritten:  c.bytesWritten.Load(),
-		GranuleReads:  c.granuleReads.Load(),
-		GranuleWrites: c.granuleWrites.Load(),
-		CacheHits:     c.cacheHits.Load(),
-		CacheMisses:   c.cacheMisses.Load(),
-		Flushes:       c.flushes.Load(),
-		FlushedBytes:  c.flushedBytes.Load(),
-		Drains:        c.drains.Load(),
-		Seeks:         c.seeks.Load(),
-		ModeledNanos:  c.modeledNanos.Load(),
+		Reads:         c.reads,
+		Writes:        c.writes,
+		BytesRead:     c.bytesRead,
+		BytesWritten:  c.bytesWritten,
+		GranuleReads:  c.granuleReads,
+		GranuleWrites: c.granuleWrites,
+		CacheHits:     c.cacheHits,
+		CacheMisses:   c.cacheMisses,
+		Flushes:       c.flushes,
+		FlushedBytes:  c.flushedBytes,
+		Drains:        c.drains,
+		Seeks:         c.seeks,
+		ModeledNanos:  c.modeledNanos,
 	}
 }
 
 func (c *counters) reset() {
-	c.reads.Store(0)
-	c.writes.Store(0)
-	c.bytesRead.Store(0)
-	c.bytesWritten.Store(0)
-	c.granuleReads.Store(0)
-	c.granuleWrites.Store(0)
-	c.cacheHits.Store(0)
-	c.cacheMisses.Store(0)
-	c.flushes.Store(0)
-	c.flushedBytes.Store(0)
-	c.drains.Store(0)
-	c.seeks.Store(0)
-	c.modeledNanos.Store(0)
+	*c = counters{}
 }

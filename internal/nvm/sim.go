@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"os"
 	"sync"
-	"sync/atomic"
 )
 
 // SimDevice is the concrete simulated device behind every Kind.  It keeps the
@@ -20,15 +19,42 @@ type SimDevice struct {
 	cache *deviceCache
 	buf   []byte // volatile image
 
+	// dirtyHi is the high-water mark of volatile-image bytes that may be
+	// nonzero.  It lets Discard hand the buffer back to the image pool with
+	// a bound on how much of it needs re-zeroing before reuse.
+	dirtyHi int64
+
 	mu      sync.Mutex // guards durable store and closed flag
 	store   durableStore
 	closed  bool
-	lastBlk atomic.Int64 // previously accessed block, for HDD seek modeling
+	lastBlk int64 // previously accessed block, for HDD seek modeling
+
+	// lastGranule memoizes the most recently charged granule.  A granule
+	// that was just accessed sits at the MRU position of its cache set, so a
+	// single-granule access to the same granule is a guaranteed hit whose
+	// MRU move is a no-op: the memo lets that case skip the cache tag scan
+	// entirely without changing any modeled outcome.  Only meaningful when
+	// cache != nil; -1 when unknown.
+	lastGranule int64
+
+	// lastGranule2 extends the memo one step: the granule charged just
+	// before lastGranule, recorded only when it maps to a *different* cache
+	// set.  Being in another set, lastGranule's later insertion cannot have
+	// displaced it, so it is still the MRU line of its own set and a
+	// single-granule access to it is a guaranteed hit whose MRU move is a
+	// no-op.  This catches the key/value alternation of hash-table scans.
+	// -1 when unknown.
+	lastGranule2 int64
+
+	// refCharge switches charging to the straight-line per-granule reference
+	// loop.  The differential test uses it to prove the chargeRun/memo fast
+	// paths are modeled-cost-identical.
+	refCharge bool
 
 	// failAfterFlushes, when >= 0, makes flush number n (0-based, counted
 	// from arming) and all later ones fail with ErrFailPoint.  Used by
 	// crash-injection tests.
-	failAfterFlushes atomic.Int64
+	failAfterFlushes int64
 
 	counters
 }
@@ -45,10 +71,16 @@ type durableStore interface {
 
 // memStore keeps the durable image in a shadow buffer: fast, used by tests
 // and benchmarks.
-type memStore struct{ img []byte }
+type memStore struct {
+	img []byte
+	hi  int64 // high-water mark of persisted bytes; [hi, len) is still zero
+}
 
 func (s *memStore) persist(off int64, src []byte) error {
 	copy(s.img[off:], src)
+	if end := off + int64(len(src)); end > s.hi {
+		s.hi = end
+	}
 	return nil
 }
 func (s *memStore) sync() error           { return nil }
@@ -82,17 +114,80 @@ func NewWithModel(kind Kind, size int64, model CostModel) *SimDevice {
 	d := &SimDevice{
 		kind:  kind,
 		model: model,
-		buf:   make([]byte, size),
+		buf:   getImage(size),
 	}
 	if model.CacheBytes > 0 {
 		d.cache = newDeviceCache(model.CacheBytes, model.Granule, model.CacheWays)
 	}
 	if kind.Persistent() {
-		d.store = &memStore{img: make([]byte, size)}
+		d.store = &memStore{img: getImage(size)}
 	}
-	d.failAfterFlushes.Store(-1)
-	d.lastBlk.Store(-1)
+	d.failAfterFlushes = -1
+	d.lastBlk = -1
+	d.lastGranule = -1
+	d.lastGranule2 = -1
 	return d
+}
+
+// imagePool recycles device images across SimDevice lifetimes.  The
+// experiment grid creates and drops hundreds of multi-megabyte devices;
+// handing back their backing buffers keeps the allocator from faulting in
+// (and the GC from scavenging) gigabytes of fresh pages.  Each returned
+// buffer carries the high-water mark of its possibly-nonzero bytes, so
+// re-zeroing on reuse touches only the prefix the previous owner actually
+// dirtied; recycling stays invisible to device semantics.
+var imagePool struct {
+	mu   sync.Mutex
+	bufs []pooledImage
+}
+
+type pooledImage struct {
+	buf []byte
+	hi  int64 // bytes [hi, cap) are known zero
+}
+
+const imagePoolSlots = 16
+
+func getImage(size int64) []byte {
+	imagePool.mu.Lock()
+	best := -1
+	for i, p := range imagePool.bufs {
+		if int64(cap(p.buf)) >= size && (best < 0 || cap(p.buf) < cap(imagePool.bufs[best].buf)) {
+			best = i
+		}
+	}
+	var b []byte
+	var hi int64
+	if best >= 0 {
+		b = imagePool.bufs[best].buf[:size]
+		hi = imagePool.bufs[best].hi
+		last := len(imagePool.bufs) - 1
+		imagePool.bufs[best] = imagePool.bufs[last]
+		imagePool.bufs = imagePool.bufs[:last]
+	}
+	imagePool.mu.Unlock()
+	if b == nil {
+		return make([]byte, size)
+	}
+	// Clear the whole dirty prefix — it can extend past size, since the
+	// buffer's capacity may exceed what this device asked for, and the
+	// zero-beyond-hi invariant must hold for the next recycling too.
+	clear(b[:cap(b)][:min(hi, int64(cap(b)))])
+	return b
+}
+
+func putImage(b []byte, hi int64) {
+	if cap(b) == 0 {
+		return
+	}
+	if hi > int64(len(b)) {
+		hi = int64(len(b))
+	}
+	imagePool.mu.Lock()
+	if len(imagePool.bufs) < imagePoolSlots {
+		imagePool.bufs = append(imagePool.bufs, pooledImage{buf: b[:0], hi: hi})
+	}
+	imagePool.mu.Unlock()
 }
 
 // Open creates (or reopens) a file-backed simulated device at path.  If the
@@ -126,6 +221,7 @@ func Open(kind Kind, path string, size int64) (*SimDevice, error) {
 		f.Close()
 		return nil, fmt.Errorf("nvm: load %s: %w", path, err)
 	}
+	d.dirtyHi = int64(len(d.buf))
 	return d, nil
 }
 
@@ -147,7 +243,124 @@ func (d *SimDevice) ResetStats() { d.counters.reset() }
 // charge walks the granules of [off, off+n) through the device cache and
 // accumulates modeled cost.  missNanos is the per-granule media cost for
 // this access direction.
+//
+// All paths below — the memo fast path, chargeRun, and chargeReference —
+// produce bit-identical Stats and modeled nanos for the same access
+// sequence; they differ only in host-side work (see the differential test).
 func (d *SimDevice) charge(off, n, missNanos int64, isWrite bool) {
+	first := off / d.model.Granule
+	if d.lastGranule == first && (off+n-1)/d.model.Granule == first {
+		// The granule was just accessed, so it sits at MRU: a guaranteed
+		// hit whose MRU move is a no-op.  Skip the cache walk.  lastGranule
+		// is only ever set by chargeRun on a cached device (first >= 0, and
+		// reference-charging devices never run chargeRun), so matching it
+		// implies cache != nil and !refCharge.  The function is kept this
+		// small deliberately, so the memo path inlines into the accessors.
+		d.modeledNanos += d.model.HitNanos
+		d.cacheHits++
+		if d.model.SeekNanos > 0 {
+			d.lastBlk = first
+		}
+		return
+	}
+	d.charge2(off, n, first, missNanos, isWrite)
+}
+
+// charge2 is the second-chance memo: a single-granule access to the granule
+// charged just before the most recent one.  By the lastGranule2 invariant it
+// lives in a different cache set, so it is still that set's MRU line — a
+// guaranteed hit, MRU move a no-op — and the two memo entries swap.
+func (d *SimDevice) charge2(off, n, first, missNanos int64, isWrite bool) {
+	if d.lastGranule2 == first && (off+n-1)/d.model.Granule == first {
+		d.lastGranule2 = d.lastGranule
+		d.lastGranule = first
+		d.modeledNanos += d.model.HitNanos
+		d.cacheHits++
+		if d.model.SeekNanos > 0 {
+			d.lastBlk = first
+		}
+		return
+	}
+	d.chargeFull(off, n, first, missNanos, isWrite)
+}
+
+// chargeFull is the non-memoized tail of charge.
+func (d *SimDevice) chargeFull(off, n, first, missNanos int64, isWrite bool) {
+	if d.refCharge {
+		d.chargeReference(off, n, missNanos, isWrite)
+		return
+	}
+	d.chargeRun(first, (off+n-1)/d.model.Granule, missNanos, isWrite)
+}
+
+// chargeRun charges the granule run [first, last], accumulating counters in
+// locals and writing them back once for the whole run.
+func (d *SimDevice) chargeRun(first, last, missNanos int64, isWrite bool) {
+	var cost, hits, misses, gReads, gWrites, seeks int64
+	seek := d.model.SeekNanos > 0
+	var prev int64
+	if seek {
+		prev = d.lastBlk
+	}
+	for gr := first; gr <= last; gr++ {
+		hit := false
+		if d.cache != nil {
+			hit = d.cache.access(gr)
+		}
+		if hit {
+			cost += d.model.HitNanos
+			hits++
+		} else {
+			cost += missNanos
+			misses++
+			if seek && !isWrite {
+				// Block devices pay a seek when the read stream is
+				// broken.  Write misses never seek: the page cache
+				// installs fresh pages without touching the device, and
+				// write-back (charged at Flush) is elevator-scheduled.
+				if prev != gr-1 && prev != gr {
+					cost += d.model.SeekNanos
+					seeks++
+				}
+			}
+			if isWrite {
+				gWrites++
+			} else {
+				gReads++
+			}
+		}
+		// After any access the stream is positioned at gr (hits and write
+		// misses in the reference loop store it explicitly; read misses
+		// leave it from the seek check above).
+		prev = gr
+	}
+	if d.cache != nil {
+		// Record the previous memo granule as the second-chance entry only
+		// for single-granule charges into a different cache set; any other
+		// shape may have displaced it from its set's MRU slot.
+		if first == last && d.lastGranule >= 0 &&
+			first%d.cache.nsets != d.lastGranule%d.cache.nsets {
+			d.lastGranule2 = d.lastGranule
+		} else {
+			d.lastGranule2 = -1
+		}
+		d.lastGranule = last
+	}
+	if seek {
+		d.lastBlk = prev
+	}
+	d.modeledNanos += cost
+	d.cacheHits += hits
+	d.cacheMisses += misses
+	d.granuleReads += gReads
+	d.granuleWrites += gWrites
+	d.seeks += seeks
+}
+
+// chargeReference is the straight-line per-granule charging loop, kept as
+// the behavioral reference for the differential test: chargeRun and the memo
+// fast path must match it bit for bit.
+func (d *SimDevice) chargeReference(off, n, missNanos int64, isWrite bool) {
 	g := d.model.Granule
 	first := off / g
 	last := (off + n - 1) / g
@@ -159,31 +372,61 @@ func (d *SimDevice) charge(off, n, missNanos int64, isWrite bool) {
 		}
 		if hit {
 			cost += d.model.HitNanos
-			d.cacheHits.Add(1)
+			d.cacheHits++
 		} else {
 			cost += missNanos
-			d.cacheMisses.Add(1)
+			d.cacheMisses++
 			if d.model.SeekNanos > 0 && !isWrite {
-				// Block devices pay a seek when the read stream is
-				// broken.  Write misses never seek: the page cache
-				// installs fresh pages without touching the device, and
-				// write-back (charged at Flush) is elevator-scheduled.
-				if prev := d.lastBlk.Swap(gr); prev != gr-1 && prev != gr {
+				prev := d.lastBlk
+				d.lastBlk = gr
+				if prev != gr-1 && prev != gr {
 					cost += d.model.SeekNanos
-					d.seeks.Add(1)
+					d.seeks++
 				}
 			}
 			if isWrite {
-				d.granuleWrites.Add(1)
+				d.granuleWrites++
 			} else {
-				d.granuleReads.Add(1)
+				d.granuleReads++
 			}
 		}
 		if d.model.SeekNanos > 0 && (hit || isWrite) {
-			d.lastBlk.Store(gr)
+			d.lastBlk = gr
 		}
 	}
-	d.modeledNanos.Add(cost)
+	d.modeledNanos += cost
+}
+
+// accessRead charges a read of [off, off+n) and returns the volatile-image
+// window holding those bytes.  It is the Accessor fast path: bounds are the
+// caller's responsibility (the accessor's region check subsumes the device
+// range check), and the window aliases device memory — it is valid only
+// until the next write and must not be mutated.  Charging and counters are
+// identical to ReadAt.
+func (d *SimDevice) accessRead(off, n int64) []byte {
+	if n == 0 {
+		return nil
+	}
+	d.charge(off, n, d.model.ReadNanos, false)
+	d.reads++
+	d.bytesRead += n
+	return d.buf[off : off+n]
+}
+
+// accessWrite charges a write of [off, off+n) and returns the
+// volatile-image window for the caller to fill.  Charging and counters are
+// identical to WriteAt.
+func (d *SimDevice) accessWrite(off, n int64) []byte {
+	if n == 0 {
+		return nil
+	}
+	d.charge(off, n, d.model.WriteNanos, true)
+	d.writes++
+	d.bytesWritten += n
+	if off+n > d.dirtyHi {
+		d.dirtyHi = off + n
+	}
+	return d.buf[off : off+n]
 }
 
 // ReadAt implements Device.
@@ -195,8 +438,8 @@ func (d *SimDevice) ReadAt(p []byte, off int64) (int, error) {
 		return 0, nil
 	}
 	d.charge(off, int64(len(p)), d.model.ReadNanos, false)
-	d.reads.Add(1)
-	d.bytesRead.Add(int64(len(p)))
+	d.reads++
+	d.bytesRead += int64(len(p))
 	copy(p, d.buf[off:])
 	return len(p), nil
 }
@@ -210,8 +453,11 @@ func (d *SimDevice) WriteAt(p []byte, off int64) (int, error) {
 		return 0, nil
 	}
 	d.charge(off, int64(len(p)), d.model.WriteNanos, true)
-	d.writes.Add(1)
-	d.bytesWritten.Add(int64(len(p)))
+	d.writes++
+	d.bytesWritten += int64(len(p))
+	if end := off + int64(len(p)); end > d.dirtyHi {
+		d.dirtyHi = end
+	}
 	copy(d.buf[off:], p)
 	return len(p), nil
 }
@@ -221,14 +467,15 @@ func (d *SimDevice) Flush(off, n int64) error {
 	if err := d.checkRange(off, n); err != nil {
 		return err
 	}
-	d.flushes.Add(1)
-	d.flushedBytes.Add(n)
-	d.modeledNanos.Add(granules(off, n, d.model.Granule) * d.model.FlushNanos)
+	d.flushes++
+	d.flushedBytes += n
+	d.modeledNanos += granules(off, n, d.model.Granule) * d.model.FlushNanos
 	if d.store == nil {
 		return nil // volatile medium: nothing to persist
 	}
-	if fp := d.failAfterFlushes.Load(); fp >= 0 {
-		if d.failAfterFlushes.Add(-1) < 0 {
+	if d.failAfterFlushes >= 0 {
+		d.failAfterFlushes--
+		if d.failAfterFlushes < 0 {
 			return ErrFailPoint
 		}
 	}
@@ -242,8 +489,8 @@ func (d *SimDevice) Flush(off, n int64) error {
 
 // Drain implements Device: makes all completed flushes durable.
 func (d *SimDevice) Drain() error {
-	d.drains.Add(1)
-	d.modeledNanos.Add(d.model.DrainNanos)
+	d.drains++
+	d.modeledNanos += d.model.DrainNanos
 	if d.store == nil {
 		return nil
 	}
@@ -265,29 +512,31 @@ func (d *SimDevice) Crash() error {
 	if d.closed {
 		return ErrClosed
 	}
-	for i := range d.buf {
-		d.buf[i] = 0
-	}
+	clear(d.buf[:min(d.dirtyHi, int64(len(d.buf)))])
+	d.dirtyHi = 0
 	if d.store != nil {
 		if err := d.store.load(d.buf); err != nil {
 			return err
 		}
+		d.dirtyHi = int64(len(d.buf))
 	}
 	if d.cache != nil {
 		d.cache.reset()
 	}
 	d.counters.reset()
-	d.lastBlk.Store(-1)
+	d.lastBlk = -1
+	d.lastGranule = -1
+	d.lastGranule2 = -1
 	return nil
 }
 
 // FailAfterFlushes arms a fail point: the next n flushes succeed, then every
 // flush fails with ErrFailPoint until DisarmFailPoint.  Crash-injection
 // tests use this to interrupt persistence mid-phase.
-func (d *SimDevice) FailAfterFlushes(n int64) { d.failAfterFlushes.Store(n) }
+func (d *SimDevice) FailAfterFlushes(n int64) { d.failAfterFlushes = n }
 
 // DisarmFailPoint clears any armed fail point.
-func (d *SimDevice) DisarmFailPoint() { d.failAfterFlushes.Store(-1) }
+func (d *SimDevice) DisarmFailPoint() { d.failAfterFlushes = -1 }
 
 // Close implements Device.
 func (d *SimDevice) Close() error {
@@ -298,9 +547,30 @@ func (d *SimDevice) Close() error {
 	}
 	d.closed = true
 	if d.store != nil {
-		return d.store.close()
+		err := d.store.close()
+		// A closed in-memory durable image is unreachable (Flush, Drain
+		// and Crash all fail with ErrClosed first), so it can be recycled.
+		if ms, ok := d.store.(*memStore); ok {
+			putImage(ms.img, ms.hi)
+			ms.img = nil
+		}
+		return err
 	}
 	return nil
+}
+
+// Discard closes the device and recycles its volatile image for reuse by a
+// future device.  Unlike Close — after which volatile reads and writes still
+// work — the device must not be used at all after Discard (accesses panic).
+// Callers that own the device's whole lifecycle (the experiment harness, the
+// engine) use it to keep the grid from re-faulting fresh pages per cell.
+func (d *SimDevice) Discard() error {
+	err := d.Close()
+	d.mu.Lock()
+	putImage(d.buf, d.dirtyHi)
+	d.buf = nil
+	d.mu.Unlock()
+	return err
 }
 
 func (d *SimDevice) checkRange(off, n int64) error {

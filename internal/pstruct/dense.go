@@ -106,13 +106,12 @@ func (c *DenseCounter) Get(key uint64) (uint64, error) {
 // Range calls fn for every nonzero slot in key order.
 func (c *DenseCounter) Range(fn func(key, value uint64) bool) {
 	const batch = 1024
-	buf := make([]byte, batch*8)
 	for start := int64(0); start < c.size; start += batch {
 		n := c.size - start
 		if n > batch {
 			n = batch
 		}
-		c.acc.ReadBytes(denseHeader+start*8, buf[:n*8])
+		buf := c.acc.ReadView(denseHeader+start*8, n*8)
 		for i := int64(0); i < n; i++ {
 			v := leU64(buf[i*8:])
 			if v == 0 {

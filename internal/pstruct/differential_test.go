@@ -1,0 +1,238 @@
+package pstruct
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/text-analytics/ntadoc/internal/nvm"
+	"github.com/text-analytics/ntadoc/internal/pmem"
+)
+
+// differential tests: the batched iteration paths must charge the device
+// exactly like the scalar/staged formulation they replaced.  Each test
+// builds the same structure on two identical devices, iterates one with the
+// current implementation and the other with the reference loop, and
+// requires bit-identical device Stats (including modeled nanos) and
+// identical yielded contents.
+
+func newPoolPair(t *testing.T, size int64) (a, b *pmem.Pool, devA, devB *nvm.SimDevice) {
+	t.Helper()
+	devA = nvm.New(nvm.KindNVM, size)
+	devB = nvm.New(nvm.KindNVM, size)
+	var err error
+	a, err = pmem.Create(devA, pmem.Options{LogCap: 1 << 12})
+	if err != nil {
+		t.Fatalf("create pool A: %v", err)
+	}
+	b, err = pmem.Create(devB, pmem.Options{LogCap: 1 << 12})
+	if err != nil {
+		t.Fatalf("create pool B: %v", err)
+	}
+	return a, b, devA, devB
+}
+
+func requireSameStats(t *testing.T, step string, devA, devB *nvm.SimDevice) {
+	t.Helper()
+	if sa, sb := devA.Stats(), devB.Stats(); sa != sb {
+		t.Fatalf("%s: stats diverged\ncurrent:   %+v\nreference: %+v", step, sa, sb)
+	}
+}
+
+type kv struct{ k, v uint64 }
+
+func TestHashTableRangeChargesLikeReferenceScan(t *testing.T) {
+	const size = 1 << 20
+	poolA, poolB, devA, devB := newPoolPair(t, size)
+	defer devA.Discard()
+	defer devB.Discard()
+
+	ta, err := NewHashTable(poolA, 512)
+	if err != nil {
+		t.Fatalf("new table A: %v", err)
+	}
+	tb, err := NewHashTable(poolB, 512)
+	if err != nil {
+		t.Fatalf("new table B: %v", err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	want := map[uint64]uint64{}
+	for i := 0; i < 300; i++ {
+		k, v := rng.Uint64()|1, rng.Uint64()
+		if _, err := ta.Add(k, v); err != nil {
+			t.Fatalf("add A: %v", err)
+		}
+		if _, err := tb.Add(k, v); err != nil {
+			t.Fatalf("add B: %v", err)
+		}
+		want[k] += v
+	}
+	requireSameStats(t, "after inserts", devA, devB)
+
+	var gotA []kv
+	ta.Range(func(k, v uint64) bool {
+		gotA = append(gotA, kv{k, v})
+		return true
+	})
+
+	// Reference scan: staged status batches via ReadBytes, scalar key and
+	// value reads per occupied slot — the pre-batching formulation.
+	var gotB []kv
+	const batch = 1024
+	status := make([]byte, batch)
+	for start := int64(0); start < tb.cap; start += batch {
+		n := tb.cap - start
+		if n > batch {
+			n = batch
+		}
+		tb.acc.ReadBytes(tb.statusOff+start, status[:n])
+		for i := int64(0); i < n; i++ {
+			if status[i] != slotOccupied {
+				continue
+			}
+			s := start + i
+			k := tb.acc.Uint64(tb.keysOff + s*8)
+			v := tb.acc.Uint64(tb.valsOff + s*8)
+			gotB = append(gotB, kv{k, v})
+		}
+	}
+	requireSameStats(t, "after iteration", devA, devB)
+
+	if len(gotA) != len(gotB) || len(gotA) != len(want) {
+		t.Fatalf("yield counts: current %d, reference %d, want %d",
+			len(gotA), len(gotB), len(want))
+	}
+	for i := range gotA {
+		if gotA[i] != gotB[i] {
+			t.Fatalf("entry %d: current %+v, reference %+v", i, gotA[i], gotB[i])
+		}
+		if want[gotA[i].k] != gotA[i].v {
+			t.Fatalf("key %d: value %d, want %d", gotA[i].k, gotA[i].v, want[gotA[i].k])
+		}
+	}
+}
+
+func TestVectorRangeChargesLikeReferenceScan(t *testing.T) {
+	const size = 1 << 20
+	poolA, poolB, devA, devB := newPoolPair(t, size)
+	defer devA.Discard()
+	defer devB.Discard()
+
+	va, err := NewVector(poolA, 2000)
+	if err != nil {
+		t.Fatalf("new vector A: %v", err)
+	}
+	vb, err := NewVector(poolB, 2000)
+	if err != nil {
+		t.Fatalf("new vector B: %v", err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	var want []uint64
+	for i := 0; i < 1500; i++ {
+		x := rng.Uint64()
+		if err := va.Append(x); err != nil {
+			t.Fatalf("append A: %v", err)
+		}
+		if err := vb.Append(x); err != nil {
+			t.Fatalf("append B: %v", err)
+		}
+		want = append(want, x)
+	}
+	requireSameStats(t, "after appends", devA, devB)
+
+	var gotA []uint64
+	va.Range(func(i int64, x uint64) bool {
+		gotA = append(gotA, x)
+		return true
+	})
+
+	// Reference scan: staged batches via ReadBytes into a scratch buffer.
+	var gotB []uint64
+	const batch = 512
+	buf := make([]byte, batch*8)
+	for start := int64(0); start < vb.len; start += batch {
+		n := vb.len - start
+		if n > batch {
+			n = batch
+		}
+		vb.acc.ReadBytes(vecHeader+start*8, buf[:n*8])
+		for i := int64(0); i < n; i++ {
+			gotB = append(gotB, leU64(buf[i*8:]))
+		}
+	}
+	requireSameStats(t, "after iteration", devA, devB)
+
+	if len(gotA) != len(want) || len(gotB) != len(want) {
+		t.Fatalf("yield counts: current %d, reference %d, want %d",
+			len(gotA), len(gotB), len(want))
+	}
+	for i := range want {
+		if gotA[i] != want[i] || gotB[i] != want[i] {
+			t.Fatalf("index %d: current %d, reference %d, want %d",
+				i, gotA[i], gotB[i], want[i])
+		}
+	}
+}
+
+func TestDenseCounterRangeChargesLikeReferenceScan(t *testing.T) {
+	const size = 1 << 20
+	poolA, poolB, devA, devB := newPoolPair(t, size)
+	defer devA.Discard()
+	defer devB.Discard()
+
+	ca, err := NewDenseCounter(poolA, 3000)
+	if err != nil {
+		t.Fatalf("new counter A: %v", err)
+	}
+	cb, err := NewDenseCounter(poolB, 3000)
+	if err != nil {
+		t.Fatalf("new counter B: %v", err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	want := map[uint64]uint64{}
+	for i := 0; i < 800; i++ {
+		k, v := uint64(rng.Int63n(3000)), rng.Uint64()%1000+1
+		if _, err := ca.Add(k, v); err != nil {
+			t.Fatalf("add A: %v", err)
+		}
+		if _, err := cb.Add(k, v); err != nil {
+			t.Fatalf("add B: %v", err)
+		}
+		want[k] += v
+	}
+	requireSameStats(t, "after adds", devA, devB)
+
+	var gotA []kv
+	ca.Range(func(k, v uint64) bool {
+		gotA = append(gotA, kv{k, v})
+		return true
+	})
+
+	var gotB []kv
+	const batch = 1024
+	buf := make([]byte, batch*8)
+	for start := int64(0); start < cb.size; start += batch {
+		n := cb.size - start
+		if n > batch {
+			n = batch
+		}
+		cb.acc.ReadBytes(denseHeader+start*8, buf[:n*8])
+		for i := int64(0); i < n; i++ {
+			v := leU64(buf[i*8:])
+			if v == 0 {
+				continue
+			}
+			gotB = append(gotB, kv{uint64(start + i), v})
+		}
+	}
+	requireSameStats(t, "after iteration", devA, devB)
+
+	if len(gotA) != len(gotB) || len(gotA) != len(want) {
+		t.Fatalf("yield counts: current %d, reference %d, want %d",
+			len(gotA), len(gotB), len(want))
+	}
+	for i := range gotA {
+		if gotA[i] != gotB[i] {
+			t.Fatalf("entry %d: current %+v, reference %+v", i, gotA[i], gotB[i])
+		}
+	}
+}

@@ -69,8 +69,7 @@ func NewHashTable(p *pmem.Pool, bound int64) (*HashTable, error) {
 	if err != nil {
 		return nil, err
 	}
-	zero := make([]byte, htHeader+c)
-	acc.WriteBytes(0, zero)
+	acc.Fill(0, htHeader+c, 0)
 	acc.PutUint64(0, uint64(c))
 	return newHT(acc, c), nil
 }
@@ -196,14 +195,16 @@ func (t *HashTable) Get(key uint64) (uint64, error) {
 // Iteration order is the slot order, not insertion order.
 func (t *HashTable) Range(fn func(key, value uint64) bool) {
 	// Scan the status buffer in batches to keep device traffic sequential.
+	// The zero-copy view is re-fetched per batch: the key/value reads below
+	// may write to other structures through fn, but never to this table's
+	// status run, so the current view stays valid for its whole batch.
 	const batch = 1024
-	status := make([]byte, batch)
 	for start := int64(0); start < t.cap; start += batch {
 		n := t.cap - start
 		if n > batch {
 			n = batch
 		}
-		t.acc.ReadBytes(t.statusOff+start, status[:n])
+		status := t.acc.ReadView(t.statusOff+start, n)
 		for i := int64(0); i < n; i++ {
 			if status[i] != slotOccupied {
 				continue
@@ -223,13 +224,15 @@ func (t *HashTable) Range(fn func(key, value uint64) bool) {
 // bytes make unreachable).  Operation-level recovery uses it to rebuild a
 // table before replaying the redo log.
 func (t *HashTable) ResetSlots() {
-	zero := make([]byte, 4096)
-	for off := int64(0); off < t.cap; off += int64(len(zero)) {
+	// Chunk boundaries match the historical staging-buffer writes, so the
+	// charged granule sequence (and thus modeled time) is unchanged.
+	const chunk = 4096
+	for off := int64(0); off < t.cap; off += chunk {
 		n := t.cap - off
-		if n > int64(len(zero)) {
-			n = int64(len(zero))
+		if n > chunk {
+			n = chunk
 		}
-		t.acc.WriteBytes(t.statusOff+off, zero[:n])
+		t.acc.Fill(t.statusOff+off, n, 0)
 	}
 	t.count = 0
 	t.acc.PutUint64(8, 0)

@@ -101,15 +101,15 @@ func (v *Vector) Set(i int64, x uint64) error {
 
 // Range calls fn for each element in order; fn returning false stops early.
 func (v *Vector) Range(fn func(i int64, x uint64) bool) {
-	// Read in batches so sequential layout pays sequential device cost.
+	// Read in batches so sequential layout pays sequential device cost; the
+	// zero-copy view decodes straight from the device image.
 	const batch = 512
-	buf := make([]byte, batch*8)
 	for start := int64(0); start < v.len; start += batch {
 		n := v.len - start
 		if n > batch {
 			n = batch
 		}
-		v.acc.ReadBytes(vecHeader+start*8, buf[:n*8])
+		buf := v.acc.ReadView(vecHeader+start*8, n*8)
 		for i := int64(0); i < n; i++ {
 			x := leU64(buf[i*8:])
 			if !fn(start+i, x) {

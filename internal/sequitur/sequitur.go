@@ -48,7 +48,7 @@ func (r *rule) last() *node  { return r.guard.prev }
 
 // builder runs the inference.
 type builder struct {
-	digrams map[uint64]*node // digram -> first occurrence (left node)
+	digrams *digramTable // digram -> first occurrence (left node)
 	root    *rule
 	rules   map[*rule]struct{} // all live non-root rules
 	nextID  int
@@ -78,7 +78,7 @@ func Infer(tokens [][]uint32, numWords uint32) (*cfg.Grammar, error) {
 		return nil, fmt.Errorf("sequitur: too many files (%d)", len(tokens))
 	}
 	b := &builder{
-		digrams: make(map[uint64]*node),
+		digrams: newDigramTable(),
 		root:    newRule(),
 		rules:   make(map[*rule]struct{}),
 	}
@@ -122,10 +122,7 @@ func (b *builder) removeDigram(n *node) {
 	if isGuard(n) || isGuard(n.next) {
 		return
 	}
-	k := digramKey(n.sym, n.next.sym)
-	if b.digrams[k] == n {
-		delete(b.digrams, k)
-	}
+	b.digrams.delIf(digramKey(n.sym, n.next.sym), n)
 }
 
 // checkDigram enforces digram uniqueness for the digram starting at n.
@@ -139,10 +136,8 @@ func (b *builder) checkDigram(n *node) bool {
 	if n.sym.IsSep() || n.next.sym.IsSep() {
 		return false
 	}
-	k := digramKey(n.sym, n.next.sym)
-	match, ok := b.digrams[k]
-	if !ok {
-		b.digrams[k] = n
+	match := b.digrams.getOrPut(digramKey(n.sym, n.next.sym), n)
+	if match == nil {
 		return false
 	}
 	if match == n || match.next == n {
@@ -177,7 +172,7 @@ func (b *builder) handleMatch(n, match *node) {
 		if c.IsRule() {
 			b.ruleFromSym(c).uses++
 		}
-		b.digrams[digramKey(a, c)] = ra
+		b.digrams.put(digramKey(a, c), ra)
 		// Replace both occurrences; order matters: the original first.
 		b.substitute(match, r)
 		b.substitute(n, r)

@@ -7,7 +7,7 @@
 package tadoc
 
 import (
-	"sort"
+	"slices"
 
 	"github.com/text-analytics/ntadoc/internal/analytics"
 	"github.com/text-analytics/ntadoc/internal/cfg"
@@ -391,5 +391,5 @@ func (e *Engine) bodySymbols() int64 {
 func (e *Engine) Meter() *metrics.Meter { return &e.meter }
 
 func sortU32(s []uint32) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 }

@@ -22,6 +22,8 @@ type Engine struct {
 	acc   nvm.Accessor
 	offs  []int64 // token offset of each file's start; offs[len] = total
 	meter metrics.Meter
+
+	scanBuf []uint32 // scanFile scratch, reused across files
 }
 
 var _ analytics.Engine = (*Engine)(nil)
@@ -86,7 +88,10 @@ func (e *Engine) TotalTokens() int64 { return e.offs[len(e.offs)-1] }
 func (e *Engine) scanFile(fi int, fn func(tokens []uint32)) {
 	start, end := e.offs[fi], e.offs[fi+1]
 	const batch = 1 << 13
-	buf := make([]uint32, batch)
+	if e.scanBuf == nil {
+		e.scanBuf = make([]uint32, batch)
+	}
+	buf := e.scanBuf
 	for pos := start; pos < end; pos += batch {
 		n := end - pos
 		if n > batch {
@@ -97,16 +102,24 @@ func (e *Engine) scanFile(fi int, fn func(tokens []uint32)) {
 	}
 }
 
-// WordCount implements analytics.Engine.
+// WordCount implements analytics.Engine.  Counting goes through a
+// vocabulary-sized array rather than a map; the charged hash-op cost per
+// token is unchanged — only host wall-clock differs.
 func (e *Engine) WordCount() (map[uint32]uint64, error) {
-	out := make(map[uint32]uint64)
+	counts := make([]uint64, e.d.Len())
 	for fi := 0; fi < e.NumFiles(); fi++ {
 		e.scanFile(fi, func(toks []uint32) {
 			e.meter.Charge(int64(len(toks)), metrics.CostScanToken+metrics.CostHashOp)
 			for _, w := range toks {
-				out[w]++
+				counts[w]++
 			}
 		})
+	}
+	out := make(map[uint32]uint64)
+	for w, c := range counts {
+		if c != 0 {
+			out[uint32(w)] = c
+		}
 	}
 	return out, nil
 }
@@ -126,71 +139,187 @@ func (e *Engine) Sort() ([]analytics.WordFreq, error) {
 	return out, nil
 }
 
-// TermVector implements analytics.Engine.
+// TermVector implements analytics.Engine.  Per-file counts accumulate in a
+// vocabulary-sized array with a touched-word list, reset between files; the
+// charged costs match the map-based formulation exactly.
 func (e *Engine) TermVector(k int) ([][]analytics.WordFreq, error) {
 	out := make([][]analytics.WordFreq, e.NumFiles())
+	counts := make([]uint64, e.d.Len())
+	var touched []uint32
 	for fi := range out {
-		counts := make(map[uint32]uint64)
 		e.scanFile(fi, func(toks []uint32) {
 			e.meter.Charge(int64(len(toks)), metrics.CostScanToken+metrics.CostHashOp)
 			for _, w := range toks {
+				if counts[w] == 0 {
+					touched = append(touched, w)
+				}
 				counts[w]++
 			}
 		})
-		e.meter.Charge(int64(len(counts)), metrics.CostSortEntry)
-		out[fi] = analytics.TermVectorOf(counts, k)
+		e.meter.Charge(int64(len(touched)), metrics.CostSortEntry)
+		vec := make([]analytics.WordFreq, 0, len(touched))
+		for _, w := range touched {
+			vec = append(vec, analytics.WordFreq{Word: w, Freq: counts[w]})
+			counts[w] = 0
+		}
+		touched = touched[:0]
+		out[fi] = analytics.TermVectorSorted(vec, k)
 	}
 	return out, nil
 }
 
-// InvertedIndex implements analytics.Engine.
+// InvertedIndex implements analytics.Engine.  First-occurrence tracking uses
+// a vocabulary-sized bitmap with a touched-word list, reset between files.
 func (e *Engine) InvertedIndex() (map[uint32][]uint32, error) {
 	out := make(map[uint32][]uint32)
+	seen := make([]bool, e.d.Len())
+	var touched []uint32
 	for fi := 0; fi < e.NumFiles(); fi++ {
-		seen := make(map[uint32]struct{})
 		e.scanFile(fi, func(toks []uint32) {
 			e.meter.Charge(int64(len(toks)), metrics.CostScanToken+metrics.CostHashOp)
 			for _, w := range toks {
-				if _, ok := seen[w]; !ok {
-					seen[w] = struct{}{}
+				if !seen[w] {
+					seen[w] = true
+					touched = append(touched, w)
 					out[w] = append(out[w], uint32(fi))
 				}
 			}
 		})
+		for _, w := range touched {
+			seen[w] = false
+		}
+		touched = touched[:0]
 	}
 	return out, nil
+}
+
+// Sequence-task accumulators key windows by a packed uint64 whenever the
+// vocabulary fits packBits per token: Go maps hash 8-byte keys through a
+// fast path that the 12-byte Seq array misses.  Packed and generic paths
+// emit the same windows and charge identically; outputs are converted back
+// to Seq keys at the end.
+const packBits = 21
+
+func (e *Engine) canPackSeq() bool {
+	return analytics.SeqLen == 3 && e.d.Len() <= 1<<packBits
+}
+
+func unpackSeq(pk uint64) analytics.Seq {
+	const m = 1<<packBits - 1
+	return analytics.Seq{
+		uint32(pk >> (2 * packBits)),
+		uint32((pk >> packBits) & m),
+		uint32(pk & m),
+	}
+}
+
+// scanPackedSequences mirrors scanSequences with packed window keys,
+// maintained by one shift-and-or per token.
+func (e *Engine) scanPackedSequences(fi int, emit func(uint64)) {
+	const mask = 1<<(2*packBits) - 1
+	var pk uint64
+	n := 0
+	e.scanFile(fi, func(toks []uint32) {
+		e.meter.Charge(int64(len(toks)), metrics.CostScanToken)
+		for _, w := range toks {
+			pk = (pk&mask)<<packBits | uint64(w)
+			if n < analytics.SeqLen-1 {
+				n++
+				continue
+			}
+			emit(pk)
+		}
+	})
 }
 
 // SequenceCount implements analytics.Engine.
 func (e *Engine) SequenceCount() (map[analytics.Seq]uint64, error) {
-	out := make(map[analytics.Seq]uint64)
+	if !e.canPackSeq() {
+		return e.sequenceCountGeneric()
+	}
+	counts := make(map[uint64]uint64)
 	for fi := 0; fi < e.NumFiles(); fi++ {
-		e.scanSequences(fi, func(q analytics.Seq) {
-			e.meter.Charge(1, metrics.CostSeqOp)
-			out[q]++
+		e.scanPackedSequences(fi, func(pk uint64) {
+			counts[pk]++
 		})
+		// One charge per file covers every emitted window: Charge is
+		// linear in its op count, so this equals the per-window charges.
+		e.meter.Charge(e.numWindows(fi), metrics.CostSeqOp)
+	}
+	out := make(map[analytics.Seq]uint64, len(counts))
+	for pk, v := range counts {
+		out[unpackSeq(pk)] = v
 	}
 	return out, nil
 }
 
-// RankedInvertedIndex implements analytics.Engine.
-func (e *Engine) RankedInvertedIndex() (map[analytics.Seq][]analytics.DocFreq, error) {
-	perDoc := make(map[analytics.Seq]map[uint32]uint64)
+func (e *Engine) sequenceCountGeneric() (map[analytics.Seq]uint64, error) {
+	out := make(map[analytics.Seq]uint64)
 	for fi := 0; fi < e.NumFiles(); fi++ {
 		e.scanSequences(fi, func(q analytics.Seq) {
-			e.meter.Charge(1, metrics.CostSeqOp+metrics.CostHashOp)
-			m := perDoc[q]
-			if m == nil {
-				m = make(map[uint32]uint64)
-				perDoc[q] = m
+			out[q]++
+		})
+		e.meter.Charge(e.numWindows(fi), metrics.CostSeqOp)
+	}
+	return out, nil
+}
+
+// numWindows returns how many SeqLen-windows file fi emits.
+func (e *Engine) numWindows(fi int) int64 {
+	n := e.offs[fi+1] - e.offs[fi] - analytics.SeqLen + 1
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// RankedInvertedIndex implements analytics.Engine.  Files are scanned in
+// ascending order, so each sequence's postings grow append-only: a window in
+// the current file either bumps the last posting or starts a new one, and no
+// nested per-document map is needed.
+func (e *Engine) RankedInvertedIndex() (map[analytics.Seq][]analytics.DocFreq, error) {
+	if !e.canPackSeq() {
+		return e.rankedInvertedIndexGeneric()
+	}
+	perDoc := make(map[uint64][]analytics.DocFreq)
+	for fi := 0; fi < e.NumFiles(); fi++ {
+		doc := uint32(fi)
+		e.meter.Charge(e.numWindows(fi), metrics.CostSeqOp+metrics.CostHashOp)
+		e.scanPackedSequences(fi, func(pk uint64) {
+			p := perDoc[pk]
+			if n := len(p); n > 0 && p[n-1].Doc == doc {
+				p[n-1].Freq++
+			} else {
+				perDoc[pk] = append(p, analytics.DocFreq{Doc: doc, Freq: 1})
 			}
-			m[uint32(fi)]++
 		})
 	}
 	out := make(map[analytics.Seq][]analytics.DocFreq, len(perDoc))
-	for q, m := range perDoc {
-		e.meter.Charge(int64(len(m)), metrics.CostSortEntry)
-		out[q] = analytics.RankPostings(m)
+	for pk, postings := range perDoc {
+		e.meter.Charge(int64(len(postings)), metrics.CostSortEntry)
+		out[unpackSeq(pk)] = analytics.RankPostingsSorted(postings)
+	}
+	return out, nil
+}
+
+func (e *Engine) rankedInvertedIndexGeneric() (map[analytics.Seq][]analytics.DocFreq, error) {
+	perDoc := make(map[analytics.Seq][]analytics.DocFreq)
+	for fi := 0; fi < e.NumFiles(); fi++ {
+		doc := uint32(fi)
+		e.meter.Charge(e.numWindows(fi), metrics.CostSeqOp+metrics.CostHashOp)
+		e.scanSequences(fi, func(q analytics.Seq) {
+			p := perDoc[q]
+			if n := len(p); n > 0 && p[n-1].Doc == doc {
+				p[n-1].Freq++
+			} else {
+				perDoc[q] = append(p, analytics.DocFreq{Doc: doc, Freq: 1})
+			}
+		})
+	}
+	out := make(map[analytics.Seq][]analytics.DocFreq, len(perDoc))
+	for q, postings := range perDoc {
+		e.meter.Charge(int64(len(postings)), metrics.CostSortEntry)
+		out[q] = analytics.RankPostingsSorted(postings)
 	}
 	return out, nil
 }
