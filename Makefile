@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke check
+.PHONY: all build vet test race bench-smoke errcheck crashcheck check
 
 all: check
 
@@ -22,4 +22,22 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-check: build vet test race bench-smoke
+# errcheck-style grep: persistence-path calls (Crash/Flush/Drain/Checkpoint/
+# Commit and friends) whose error result is silently dropped.  A bare call
+# statement of one of these methods is always a bug — wrap it in must(t, ...)
+# in tests or propagate the error.
+errcheck:
+	@! grep -rnE '^[[:space:]]+[a-zA-Z_][a-zA-Z0-9_.]*\.(Crash|CrashAt|Drain|Flush|FlushAll|FlushInit|FlushHeader|Checkpoint|Commit)\([^)]*\)[[:space:]]*(//.*)?$$' \
+		--include='*.go' cmd internal \
+		|| (echo 'errcheck: ignored persistence error return(s) above' >&2; exit 1)
+
+# Exhaustive crash-point exploration on the recorded small corpus: every
+# flush/drain event of WordCount under both persistence strategies, the
+# none/all extremes plus 3 seeded torn-write subsets per point.  The sampled
+# version of the same exploration runs inside `make test` via
+# internal/crashcheck.  Corpus and seeds are pinned here so runs reproduce.
+crashcheck:
+	$(GO) run ./cmd/crashcheck -task wordcount -persistence both \
+		-points 0 -seeds 3 -seed 42 -files 2 -tokens 120 -vocab 40 -corpus-seed 7
+
+check: build vet errcheck test race bench-smoke crashcheck

@@ -305,7 +305,9 @@ func figDRAM(specs []datagen.Spec) error {
 				task, spec.Name, fmtBytes(cell.tdBytes), fmtBytes(cell.ntBytes), cell.saving*100)
 		}
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchfig: flush savings table: %v\n", err)
+	}
 	fmt.Println("per dataset:")
 	for _, spec := range specs {
 		fmt.Printf("  %s: %.1f%%\n", spec.Name, mean(perDataset[spec.Name])*100)

@@ -206,7 +206,9 @@ func reserializedChecksum(g *Grammar) uint32 {
 			uv(uint64(s))
 		}
 	}
-	bw.Flush()
+	if err := bw.Flush(); err != nil {
+		panic("cfg: flush to hash failed: " + err.Error()) // hash.Hash writes cannot fail
+	}
 	return crc.Sum32()
 }
 

@@ -132,7 +132,9 @@ func TestSeqLocalTablesSurviveCrash(t *testing.T) {
 	if !reflect.DeepEqual(want, analytics.RefSequenceCount(files)) {
 		t.Fatal("pre-crash sequence counts wrong")
 	}
-	e.dev.Crash()
+	if err := e.dev.Crash(); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
 	re, _, err := Reopen(e.dev, d, Options{Sequences: true})
 	if err != nil {
 		t.Fatalf("Reopen: %v", err)
@@ -242,7 +244,9 @@ func TestNoDoubleReplayAfterCommittedTraversal(t *testing.T) {
 	if !reflect.DeepEqual(want, analytics.RefWordCount(files)) {
 		t.Fatal("pre-crash counts wrong")
 	}
-	e.dev.Crash()
+	if err := e.dev.Crash(); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
 	re, info, err := Reopen(e.dev, d, opts)
 	if err != nil {
 		t.Fatalf("Reopen: %v", err)

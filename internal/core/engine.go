@@ -93,12 +93,15 @@ func New(g *cfg.Grammar, d *dict.Dictionary, opts Options) (*Engine, error) {
 	if opts.Model != nil {
 		model = *opts.Model
 	}
-	if opts.Path != "" {
+	switch {
+	case opts.Device != nil:
+		dev = opts.Device
+	case opts.Path != "":
 		dev, err = nvm.Open(opts.Kind, opts.Path, size)
 		if err != nil {
 			return nil, err
 		}
-	} else {
+	default:
 		dev = nvm.NewWithModel(opts.Kind, size, model)
 	}
 	pool, err := pmem.Create(dev, pmem.Options{LogCap: opts.OpLogCap})
@@ -449,7 +452,9 @@ func (e *Engine) initialize(g *cfg.Grammar, p *prepState) error {
 		}
 		logAcc.WriteBytes(0, make([]byte, opLogHeader+opRecSize))
 		e.oplog = newOpLog(logAcc)
-		e.oplog.reset(pool.Epoch())
+		if err := e.oplog.reset(pool.Epoch()); err != nil {
+			return err
+		}
 		pool.SetRoot(rootOpLog, logAcc.Base())
 	}
 

@@ -448,7 +448,9 @@ func TestDenseCounterRecovery(t *testing.T) {
 	if err := e.topDownGlobal(counter, off); err != nil {
 		t.Fatalf("topDownGlobal: %v", err)
 	}
-	e.dev.Crash()
+	if err := e.dev.Crash(); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
 	re, info, err := Reopen(e.dev, d, opts)
 	if err != nil {
 		t.Fatalf("Reopen: %v", err)

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"github.com/text-analytics/ntadoc/internal/pmem"
+)
+
+// FuzzOpLogRecovery mutates bytes inside the durable operation-log region and
+// checks the recovery contract under arbitrary corruption: pending() must
+// never admit a record whose epoch or CRC does not validate, and Reopen must
+// never panic nor replay past the first invalid record — it either recovers
+// or returns ErrNeedsReload.
+//
+// The input is a sequence of 3-byte patches (offset uint16 LE modulo the log
+// capacity, xor byte) applied to the log region of a crashed mid-traversal
+// image that holds committed, replayable records.
+func FuzzOpLogRecovery(f *testing.F) {
+	_, d, g := corpus(f, 60, 2, 200, 25)
+	opts := Options{Persistence: OpLevel, OpLogCap: 4096}
+	e := newEngine(f, g, d, opts)
+
+	// Run a traversal far enough that the log holds committed records, then
+	// crash: the durable image is the fuzz baseline.
+	if _, err := e.beginTraversal(); err != nil {
+		f.Fatalf("beginTraversal: %v", err)
+	}
+	counter, off, err := e.newCounter(e.globalBound(), int64(e.numWords))
+	if err != nil {
+		f.Fatalf("newCounter: %v", err)
+	}
+	if err := e.topDownGlobal(counter, off); err != nil {
+		f.Fatalf("topDownGlobal: %v", err)
+	}
+	if err := e.dev.Crash(); err != nil {
+		f.Fatalf("Crash: %v", err)
+	}
+	base := e.dev
+
+	// Locate the log region and confirm the baseline actually replays.
+	probe, err := base.CloneDurable()
+	if err != nil {
+		f.Fatalf("CloneDurable: %v", err)
+	}
+	p0, err := pmem.Open(probe)
+	if err != nil {
+		f.Fatalf("Open baseline: %v", err)
+	}
+	logOff, err := p0.Root(rootOpLog)
+	if err != nil || logOff == 0 {
+		f.Fatalf("op-log root = %d, %v", logOff, err)
+	}
+	if _, info, err := Reopen(probe, d, opts); err != nil || info.Replayed == 0 {
+		f.Fatalf("baseline Reopen replayed %v records, err %v", info, err)
+	}
+	if err := probe.Discard(); err != nil {
+		f.Fatalf("Discard: %v", err)
+	}
+
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0xff})    // log epoch header byte
+	f.Add([]byte{4, 0, 0xff})    // pool-epoch header byte
+	f.Add([]byte{36, 0, 0xff})   // record 0 CRC byte (header 8 + crc field 28)
+	f.Add([]byte{24, 0, 0x01})   // record 0 delta low byte
+	f.Add([]byte{72, 0, 0x80, 104, 0, 0x01}) // records 2 and 3
+	f.Add([]byte{40, 0, 0x02, 4, 0, 0x10, 255, 255, 0xaa})
+
+	f.Fuzz(func(t *testing.T, patch []byte) {
+		dev, err := base.CloneDurable()
+		if err != nil {
+			t.Fatalf("CloneDurable: %v", err)
+		}
+		defer func() {
+			if err := dev.Discard(); err != nil {
+				t.Errorf("Discard: %v", err)
+			}
+		}()
+		for i := 0; i+3 <= len(patch); i += 3 {
+			at := logOff + int64(binary.LittleEndian.Uint16(patch[i:]))%opts.OpLogCap
+			var b [1]byte
+			if _, err := dev.ReadAt(b[:], at); err != nil {
+				t.Fatalf("ReadAt(%d): %v", at, err)
+			}
+			b[0] ^= patch[i+2]
+			if _, err := dev.WriteAt(b[:], at); err != nil {
+				t.Fatalf("WriteAt(%d): %v", at, err)
+			}
+		}
+
+		// Independent admission check: every record pending() admits must
+		// individually validate (current epochs, matching CRC).
+		pool, err := pmem.Open(dev)
+		if err != nil {
+			t.Fatalf("Open after log-only mutation: %v", err) // header untouched
+		}
+		logAcc := pool.AccessorAt(logOff, opts.OpLogCap)
+		n := newOpLog(logAcc).pending(pool.Epoch())
+		epoch := logAcc.Uint32(0)
+		if n > 0 && logAcc.Uint32(4) != pool.Epoch() {
+			t.Fatalf("pending admitted %d records under stale pool epoch", n)
+		}
+		for i := int64(0); i < n; i++ {
+			rec := int64(opLogHeader) + i*opRecSize
+			tableOff := int64(logAcc.Uint64(rec))
+			key := logAcc.Uint64(rec + 8)
+			delta := logAcc.Uint64(rec + 16)
+			recEpoch := logAcc.Uint32(rec + 24)
+			if recEpoch != epoch {
+				t.Fatalf("pending admitted record %d with stale epoch %d (log epoch %d)", i, recEpoch, epoch)
+			}
+			if got := logAcc.Uint32(rec + 28); got != recCRC(tableOff, key, delta, recEpoch) {
+				t.Fatalf("pending admitted record %d with invalid CRC %#x", i, got)
+			}
+		}
+
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Reopen panicked on corrupt op log: %v", r)
+			}
+		}()
+		re, info, err := Reopen(dev, d, opts)
+		if err != nil {
+			if !errors.Is(err, ErrNeedsReload) {
+				t.Fatalf("Reopen: %v (want nil or ErrNeedsReload)", err)
+			}
+			return
+		}
+		if info.Replayed > n {
+			t.Fatalf("replayed %d records, only %d validate", info.Replayed, n)
+		}
+		if _, err := re.ReplayedCounts(); err != nil {
+			t.Fatalf("ReplayedCounts after recovery: %v", err)
+		}
+	})
+}

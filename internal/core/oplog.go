@@ -60,14 +60,19 @@ func newOpLog(acc nvm.Accessor) *opLog {
 // reset empties the log durably by advancing the epoch (all prior records
 // become stale without being rewritten) and records the pool checkpoint
 // epoch its future records will belong to.
-func (l *opLog) reset(poolEpoch uint32) {
+func (l *opLog) reset(poolEpoch uint32) error {
 	l.epoch++
 	l.acc.PutUint32(0, l.epoch)
 	l.acc.PutUint32(4, poolEpoch)
-	l.acc.Flush(0, opLogHeader)
-	l.acc.Device().Drain()
+	if err := l.acc.Flush(0, opLogHeader); err != nil {
+		return err
+	}
+	if err := l.acc.Device().Drain(); err != nil {
+		return err
+	}
 	l.head = opLogHeader
 	l.flushed = opLogHeader
+	return nil
 }
 
 // recCRC checksums a record's payload (all fields before the crc).
@@ -110,9 +115,17 @@ func (l *opLog) commit() error {
 	return l.acc.Device().Drain()
 }
 
-// compact flushes the traversal tables dirtied since the last compaction
-// (making their state durable) and restarts the log.
+// compact restarts the log and flushes the traversal tables dirtied since
+// the last compaction, making their state durable.  The log is invalidated
+// *first*: delta records are not idempotent, so valid records must never
+// coexist with durable tables that already contain their effects — a crash
+// between the table flush and a trailing log reset would double-apply every
+// record on recovery.  A crash after the reset but before the table drain
+// instead recovers the (consistent) state of the previous compaction.
 func (l *opLog) compact(e *Engine) error {
+	if err := l.reset(e.pool.Epoch()); err != nil {
+		return err
+	}
 	// Flush in ascending offset order: on seek-charging devices the flush
 	// order is observable in the modeled stats, and map order would make
 	// them vary from run to run.
@@ -134,19 +147,24 @@ func (l *opLog) compact(e *Engine) error {
 	if err := e.pool.FlushHeader(); err != nil {
 		return err
 	}
-	if err := e.pool.Device().Drain(); err != nil {
-		return err
-	}
-	l.reset(e.pool.Epoch())
-	return nil
+	return e.pool.Device().Drain()
 }
+
+// DebugSkipLogEpochCheck disables the epoch staleness guards in
+// opLog.pending — both the pool-epoch header check and the per-record epoch
+// match — re-creating the double-replay bug they prevent: records superseded
+// by a log reset or a completed checkpoint are replayed anyway (their CRCs
+// are still valid).  Exists only so the crash-exploration harness can prove
+// (in a negative test) that it detects this class of recovery bug.  Never
+// set outside tests.
+var DebugSkipLogEpochCheck bool
 
 // pending returns the number of valid current-epoch records, scanning from
 // the start (recovery path).  poolEpoch is the pool's current checkpoint
 // epoch: records written before a later checkpoint are superseded by the
 // durable tables that checkpoint flushed, and must not replay.
 func (l *opLog) pending(poolEpoch uint32) int64 {
-	if l.acc.Uint32(4) != poolEpoch {
+	if l.acc.Uint32(4) != poolEpoch && !DebugSkipLogEpochCheck {
 		return 0
 	}
 	epoch := l.acc.Uint32(0)
@@ -156,7 +174,10 @@ func (l *opLog) pending(poolEpoch uint32) int64 {
 		key := l.acc.Uint64(off + 8)
 		delta := l.acc.Uint64(off + 16)
 		recEpoch := l.acc.Uint32(off + 24)
-		if recEpoch != epoch || l.acc.Uint32(off+28) != recCRC(tableOff, key, delta, recEpoch) {
+		if recEpoch != epoch && !DebugSkipLogEpochCheck {
+			break
+		}
+		if l.acc.Uint32(off+28) != recCRC(tableOff, key, delta, recEpoch) {
 			break
 		}
 		n++

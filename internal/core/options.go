@@ -124,6 +124,11 @@ type Options struct {
 	Model *nvm.CostModel
 	// Path makes the pool file-backed for real cross-process durability.
 	Path string
+	// Device, when non-nil, is used as the pool device instead of creating
+	// one (Path is then ignored).  It must be at least PoolEstimate bytes.
+	// The crash-exploration harness injects pre-armed devices this way; the
+	// engine takes ownership (Close discards it).
+	Device *nvm.SimDevice
 	// Persistence selects the §IV-E strategy (default PhaseLevel).
 	Persistence Persistence
 	// Strategy selects the traversal direction (default Auto).

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"errors"
+	"fmt"
+
 	"github.com/text-analytics/ntadoc/internal/analytics"
 	"github.com/text-analytics/ntadoc/internal/dict"
 	"github.com/text-analytics/ntadoc/internal/metrics"
@@ -39,6 +42,13 @@ func Reopen(dev *nvm.SimDevice, d *dict.Dictionary, opts Options) (*Engine, *Rec
 	opts = opts.withDefaults()
 	pool, err := pmem.Open(dev)
 	if err != nil {
+		// A missing or corrupt pool is the same condition as an incomplete
+		// initialization: the durable state is unusable and the caller must
+		// rebuild from the compressed input.  Never a panic or a mis-sized
+		// pool.
+		if errors.Is(err, pmem.ErrNoPool) || errors.Is(err, pmem.ErrCorrupt) {
+			return nil, nil, fmt.Errorf("%w: %v", ErrNeedsReload, err)
+		}
 		return nil, nil, err
 	}
 	if pool.Phase() < phaseInit {
@@ -54,15 +64,34 @@ func Reopen(dev *nvm.SimDevice, d *dict.Dictionary, opts Options) (*Engine, *Rec
 		}
 		return v
 	}
+	// Root slots are not covered by the header CRC, so validate every region
+	// they describe before constructing accessors: a corrupt slot must
+	// surface as ErrNeedsReload, never as an accessor panic.
+	region := func(off, n int64, what string) (nvm.Accessor, error) {
+		if off < 0 || n < 0 || off > pool.Size() || n > pool.Size()-off {
+			return nvm.Accessor{}, fmt.Errorf("%w: %s region [%d, +%d) outside pool",
+				ErrNeedsReload, what, off, n)
+		}
+		return pool.AccessorAt(off, n), nil
+	}
 	e.numRules = uint32(get(rootNumRules))
 	e.numWords = uint32(get(rootNumWords))
 	e.numFiles = uint32(get(rootNumFiles))
-	e.metaAcc = pool.AccessorAt(get(rootMeta), int64(e.numRules)*metaSize)
+	if e.metaAcc, err = region(get(rootMeta), int64(e.numRules)*metaSize, "rule meta"); err != nil {
+		return nil, nil, err
+	}
 	rootOff := get(rootRootBody)
-	hdr := pool.AccessorAt(rootOff, 8)
+	hdr, err := region(rootOff, 8, "root body header")
+	if err != nil {
+		return nil, nil, err
+	}
 	e.rootLen = int64(hdr.Uint64(0))
-	e.rootAcc = pool.AccessorAt(rootOff, 8+e.rootLen*4)
-	e.topoAcc = pool.AccessorAt(get(rootTopo), int64(e.numRules)*4)
+	if e.rootAcc, err = region(rootOff, 8+e.rootLen*4, "root body"); err != nil {
+		return nil, nil, err
+	}
+	if e.topoAcc, err = region(get(rootTopo), int64(e.numRules)*4, "topo order"); err != nil {
+		return nil, nil, err
+	}
 	e.initTop = get(rootInitTop)
 	e.distinctWords = get(rootDistinct)
 	info.CommittedTask = analytics.Task(get(rootTaskID))
@@ -70,8 +99,15 @@ func Reopen(dev *nvm.SimDevice, d *dict.Dictionary, opts Options) (*Engine, *Rec
 	// Sequence structures.
 	if seqDictOff := get(rootSeqDict); seqDictOff != 0 {
 		e.seqEnabled = true
-		cnt := int64(pool.AccessorAt(seqDictOff, 8).Uint64(0))
-		acc := pool.AccessorAt(seqDictOff, 8+cnt*12)
+		cntAcc, err := region(seqDictOff, 8, "sequence dict header")
+		if err != nil {
+			return nil, nil, err
+		}
+		cnt := int64(cntAcc.Uint64(0))
+		acc, err := region(seqDictOff, 8+cnt*12, "sequence dict")
+		if err != nil {
+			return nil, nil, err
+		}
 		flat := make([]uint32, cnt*3)
 		acc.Uint32s(8, flat)
 		e.seqList = make([]analytics.Seq, cnt)
@@ -81,15 +117,23 @@ func Reopen(dev *nvm.SimDevice, d *dict.Dictionary, opts Options) (*Engine, *Rec
 			e.seqList[i] = q
 			e.seqIDs[q] = uint32(i)
 		}
-		e.edgesAcc = pool.AccessorAt(get(rootEdges), int64(e.numRules)*edgeSize)
-		e.localsAcc = pool.AccessorAt(get(rootSeqLocal), int64(e.numRules)*8)
+		if e.edgesAcc, err = region(get(rootEdges), int64(e.numRules)*edgeSize, "sequence edges"); err != nil {
+			return nil, nil, err
+		}
+		if e.localsAcc, err = region(get(rootSeqLocal), int64(e.numRules)*8, "sequence locals"); err != nil {
+			return nil, nil, err
+		}
 	}
 
 	// Operation-level log: reattach and replay pending records.
 	if opts.Persistence == OpLevel {
 		logOff := get(rootOpLog)
 		if logOff != 0 {
-			e.oplog = newOpLog(pool.AccessorAt(logOff, opts.OpLogCap))
+			logAcc, err := region(logOff, opts.OpLogCap, "operation log")
+			if err != nil {
+				return nil, nil, err
+			}
+			e.oplog = newOpLog(logAcc)
 			n, err := e.replayOps()
 			if err != nil {
 				return nil, nil, err
@@ -110,6 +154,10 @@ func (e *Engine) replayOps() (int64, error) {
 		tableOff, key, delta := e.oplog.replayRecord(i)
 		if tableOff < 0 {
 			continue // growable ablation tables are not replayable
+		}
+		if tableOff == 0 || tableOff >= e.pool.Size() {
+			return i, fmt.Errorf("%w: log record %d targets offset %d outside pool",
+				ErrNeedsReload, i, tableOff)
 		}
 		tbl, ok := tables[tableOff]
 		if !ok {

@@ -290,7 +290,10 @@ func (e *Engine) SequenceCount() (map[analytics.Seq]uint64, error) {
 	if !e.seqEnabled {
 		return nil, ErrNoSequences
 	}
-	span := e.beginTraversal()
+	span, err := e.beginTraversal()
+	if err != nil {
+		return nil, errEngine("sequence count", err)
+	}
 	root := e.readRoot()
 	counter, off, err := e.newCounter(e.seqBound(root), int64(len(e.seqList)))
 	if err != nil {
@@ -328,7 +331,10 @@ func (e *Engine) RankedInvertedIndex() (map[analytics.Seq][]analytics.DocFreq, e
 	if !e.seqEnabled {
 		return nil, ErrNoSequences
 	}
-	span := e.beginTraversal()
+	span, err := e.beginTraversal()
+	if err != nil {
+		return nil, errEngine("ranked inverted index", err)
+	}
 	root := e.readRoot()
 	// Documents are collected in ascending order and each (sequence, doc)
 	// pair is produced exactly once, so postings can be appended directly in

@@ -11,15 +11,20 @@ import (
 
 // beginTraversal opens the graph-traversal phase: traversal-phase scratch
 // from any previous task is released (its checkpointed results are
-// superseded), and the measurement span starts.
-func (e *Engine) beginTraversal() *metrics.Span {
-	_ = e.pool.Truncate(e.initTop)
+// superseded), and the measurement span starts.  The op-level log reset
+// flushes, so device failures surface here.
+func (e *Engine) beginTraversal() (*metrics.Span, error) {
+	if err := e.pool.Truncate(e.initTop); err != nil {
+		return nil, err
+	}
 	e.travTables = make(map[int64]counterTable)
 	e.travDirty = make(map[int64]bool)
 	if e.oplog != nil {
-		e.oplog.reset(e.pool.Epoch())
+		if err := e.oplog.reset(e.pool.Epoch()); err != nil {
+			return nil, err
+		}
 	}
-	return metrics.Start(e.dev, e.meter)
+	return metrics.Start(e.dev, e.meter), nil
 }
 
 // endTraversal commits the phase: the result table offset and task are
@@ -33,6 +38,18 @@ func (e *Engine) endTraversal(span *metrics.Span, task analytics.Task, resultOff
 	slices.Sort(offs)
 	for _, off := range offs {
 		e.travTables[off].SyncLen() // counts ride along with the checkpoint flush below
+	}
+	if e.oplog != nil {
+		// Invalidate the log before the checkpoint flushes table contents:
+		// delta records are not idempotent, so valid records must never
+		// coexist with durable tables that already contain them — a crash
+		// between the checkpoint's data drain and its header commit would
+		// otherwise double-apply every operation on recovery.  The records
+		// are superseded by the checkpoint being taken either way.
+		if err := e.oplog.reset(e.pool.Epoch()); err != nil {
+			span.Stop()
+			return err
+		}
 	}
 	e.pool.SetRoot(rootResult, resultOff)
 	e.pool.SetRoot(rootTaskID, int64(task))
@@ -212,7 +229,10 @@ func (e *Engine) WordCount() (map[uint32]uint64, error) {
 }
 
 func (e *Engine) wordCountTable() (map[uint32]uint64, *metrics.Span, error) {
-	span := e.beginTraversal()
+	span, err := e.beginTraversal()
+	if err != nil {
+		return nil, nil, errEngine("word count", err)
+	}
 	counter, off, err := e.newCounter(e.globalBound(), int64(e.numWords))
 	if err != nil {
 		return nil, nil, errEngine("word count", err)
@@ -305,7 +325,10 @@ func (e *Engine) topDownGlobal(counter counterTable, counterOff int64) error {
 
 // Sort implements analytics.Engine.
 func (e *Engine) Sort() ([]analytics.WordFreq, error) {
-	span := e.beginTraversal()
+	span, err := e.beginTraversal()
+	if err != nil {
+		return nil, errEngine("sort", err)
+	}
 	counter, off, err := e.newCounter(e.globalBound(), int64(e.numWords))
 	if err != nil {
 		return nil, errEngine("sort", err)
@@ -524,9 +547,12 @@ func (e *Engine) fileCountsTopDown(fn func(doc uint32, counts counterTable)) err
 
 // TermVector implements analytics.Engine.
 func (e *Engine) TermVector(k int) ([][]analytics.WordFreq, error) {
-	span := e.beginTraversal()
+	span, err := e.beginTraversal()
+	if err != nil {
+		return nil, errEngine("term vector", err)
+	}
 	out := make([][]analytics.WordFreq, e.numFiles)
-	err := e.fileWordCounts(func(doc uint32, counter counterTable) {
+	err = e.fileWordCounts(func(doc uint32, counter counterTable) {
 		e.meter.Charge(counter.Len(), metrics.CostHashOp+metrics.CostSortEntry)
 		counts := make(map[uint32]uint64, counter.Len())
 		counter.Range(func(key, v uint64) bool { counts[uint32(key)] = v; return true })
@@ -543,9 +569,12 @@ func (e *Engine) TermVector(k int) ([][]analytics.WordFreq, error) {
 
 // InvertedIndex implements analytics.Engine.
 func (e *Engine) InvertedIndex() (map[uint32][]uint32, error) {
-	span := e.beginTraversal()
+	span, err := e.beginTraversal()
+	if err != nil {
+		return nil, errEngine("inverted index", err)
+	}
 	out := make(map[uint32][]uint32)
-	err := e.fileWordCounts(func(doc uint32, counter counterTable) {
+	err = e.fileWordCounts(func(doc uint32, counter counterTable) {
 		e.meter.Charge(counter.Len(), metrics.CostHashOp+metrics.CostSortEntry)
 		counter.Range(func(key, _ uint64) bool {
 			out[uint32(key)] = append(out[uint32(key)], doc)

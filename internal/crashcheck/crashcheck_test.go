@@ -1,0 +1,91 @@
+package crashcheck
+
+import (
+	"testing"
+
+	"github.com/text-analytics/ntadoc/internal/core"
+)
+
+// TestSampledCrashPoints is the crash-consistency gate that rides in the
+// normal test run: a seeded ~20-point sample (8 under -short) of the
+// WordCount persistence schedule, under both §IV-E strategies, with the two
+// extreme subsets plus three seeded torn subsets per point.  make crashcheck
+// runs the same corpus exhaustively.
+func TestSampledCrashPoints(t *testing.T) {
+	points := 20
+	if testing.Short() {
+		points = 8
+	}
+	for _, p := range []core.Persistence{core.PhaseLevel, core.OpLevel} {
+		t.Run(p.String(), func(t *testing.T) {
+			rep, err := Run(Config{
+				Persistence: p,
+				Points:      points,
+				Seed:        42,
+			})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if rep.TotalEvents == 0 {
+				t.Fatal("golden run recorded no persistence events")
+			}
+			if len(rep.Points) == 0 {
+				t.Fatal("no crash points explored")
+			}
+			for _, pt := range rep.Points {
+				for _, o := range pt.Outcomes {
+					for _, v := range o.Violations {
+						t.Errorf("event %d subset %s: %s", pt.Event, o.Subset, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSeqCountCrashPoints spot-checks the sequence-analytics path, whose
+// recovery reattaches the head/tail structures and sequence dictionary.
+func TestSeqCountCrashPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sequence exploration skipped in -short")
+	}
+	rep, err := Run(Config{
+		Task:        "seqcount",
+		Persistence: core.OpLevel,
+		Points:      8,
+		Subsets:     2,
+		Seed:        11,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, pt := range rep.Points {
+		for _, o := range pt.Outcomes {
+			for _, v := range o.Violations {
+				t.Errorf("event %d subset %s: %s", pt.Event, o.Subset, v)
+			}
+		}
+	}
+}
+
+// TestBrokenRecoveryIsCaught proves the harness has teeth: with the
+// pool-epoch guard in opLog.pending disabled, records superseded by the
+// final checkpoint are double-replayed onto the committed table, and the
+// harness must flag it.  The exploration always includes the final crash
+// point (the completed run), which is exactly where the guard matters.
+func TestBrokenRecoveryIsCaught(t *testing.T) {
+	core.DebugSkipLogEpochCheck = true
+	defer func() { core.DebugSkipLogEpochCheck = false }()
+	rep, err := Run(Config{
+		Persistence: core.OpLevel,
+		Points:      3,
+		Subsets:     1,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Violations == 0 {
+		t.Fatal("harness missed the double-replay bug injected via DebugSkipLogEpochCheck")
+	}
+}

@@ -74,7 +74,7 @@ func TestAccessorFlush(t *testing.T) {
 	if err := d.Drain(); err != nil {
 		t.Fatalf("Drain: %v", err)
 	}
-	d.Crash()
+	must(t, d.Crash())
 	if got := a.Uint64(0); got != 99 {
 		t.Errorf("after crash, value = %d", got)
 	}

@@ -9,6 +9,15 @@ import (
 	"testing/quick"
 )
 
+// must fails the test on a persistence-path error; used where the call's
+// effect, not its error, is under test.
+func must(t testing.TB, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestKindString(t *testing.T) {
 	cases := map[Kind]string{
 		KindDRAM: "DRAM", KindNVM: "NVM", KindSSD: "SSD", KindHDD: "HDD",
@@ -75,8 +84,8 @@ func TestStatsAccumulate(t *testing.T) {
 	buf := make([]byte, 256)
 	d.WriteAt(buf, 0)
 	d.ReadAt(buf, 0)
-	d.Flush(0, 256)
-	d.Drain()
+	must(t, d.Flush(0, 256))
+	must(t, d.Drain())
 	s := d.Stats()
 	if s.Reads != 1 || s.Writes != 1 || s.Flushes != 1 || s.Drains != 1 {
 		t.Errorf("counters = %+v", s)
@@ -206,9 +215,9 @@ func TestCrashOnDRAMZeroes(t *testing.T) {
 	d := New(KindDRAM, 1024)
 	defer d.Close()
 	d.WriteAt([]byte("gone"), 0)
-	d.Flush(0, 4) // no-op on DRAM
-	d.Drain()
-	d.Crash()
+	must(t, d.Flush(0, 4)) // no-op on DRAM
+	must(t, d.Drain())
+	must(t, d.Crash())
 	got := make([]byte, 4)
 	d.ReadAt(got, 0)
 	if !bytes.Equal(got, make([]byte, 4)) {
@@ -355,9 +364,9 @@ func TestQuickCrashConsistency(t *testing.T) {
 		if n > size {
 			n = size
 		}
-		d.Flush(0, n)
-		d.Drain()
-		d.Crash()
+		must(t, d.Flush(0, n))
+		must(t, d.Drain())
+		must(t, d.Crash())
 		got := make([]byte, size)
 		d.ReadAt(got, 0)
 		for i := int64(0); i < size; i++ {

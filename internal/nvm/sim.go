@@ -2,17 +2,27 @@ package nvm
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
+	"sort"
 	"sync"
 )
 
 // SimDevice is the concrete simulated device behind every Kind.  It keeps the
 // device contents in an ordinary byte buffer (the "volatile image"), charges
 // modeled cost per access through a simulated device cache, and — for
-// persistent kinds — maintains a durable image that is only updated by
-// Flush/Drain.  Discarding the volatile image and reloading the durable one
-// (Crash) reproduces power-failure semantics exactly: writes that were not
-// flushed are lost.
+// persistent kinds — maintains a durable image behind a *pending set*:
+//
+//	volatile image --Flush--> pending set --Drain--> durable image
+//
+// Flush captures the flushed bytes into the pending set (the clwb analogue:
+// write-back is initiated but not ordered); Drain retires the whole pending
+// set into the durable image (the sfence analogue).  A plain Crash discards
+// both the volatile image and the pending set — only drained data survives —
+// while CrashAt persists a seeded arbitrary per-granule subset of the pending
+// set first, modeling flushed-but-unfenced stores that reach media in any
+// order.  Crash then reloads the volatile image from the durable one,
+// reproducing power-failure semantics exactly.
 type SimDevice struct {
 	kind  Kind
 	model CostModel
@@ -51,12 +61,40 @@ type SimDevice struct {
 	// paths are modeled-cost-identical.
 	refCharge bool
 
-	// failAfterFlushes, when >= 0, makes flush number n (0-based, counted
-	// from arming) and all later ones fail with ErrFailPoint.  Used by
-	// crash-injection tests.
+	// pending is the set of flushed-but-not-drained ranges, in flush order.
+	// A range's data is captured lazily: nil means the volatile image still
+	// holds the bytes as they were at flush time, and a later overlapping
+	// store materializes the snapshot first (see snapshotPending).
+	// pendingLo/pendingHi bound the set so the hot write path can reject
+	// non-overlapping stores with two compares.
+	pending   []pendingRange
+	pendingLo int64
+	pendingHi int64
+
+	// Fail points: when >= 0, operation number n (0-based, counted from
+	// arming) and all later ones fail with ErrFailPoint.  They fire on
+	// volatile (store == nil) devices too, so DRAM ablation cells exercise
+	// the same error paths.  failFromEvent instead counts the combined
+	// flush/drain sequence from device creation, for crash-point replays.
 	failAfterFlushes int64
+	failAfterDrains  int64
+	failAfterWrites  int64
+	failFromEvent    int64
+
+	// persistEvents numbers every Flush and Drain call over the device's
+	// lifetime.  Never reset (not part of Stats): crash-exploration
+	// harnesses use it to name a crash point as "after persistence event i"
+	// consistently across a golden run and its replays.
+	persistEvents int64
 
 	counters
+}
+
+// pendingRange is one flushed-but-not-drained byte range.  data == nil means
+// the snapshot is still implicit in the volatile image.
+type pendingRange struct {
+	off, n int64
+	data   []byte
 }
 
 var _ Device = (*SimDevice)(nil)
@@ -123,6 +161,9 @@ func NewWithModel(kind Kind, size int64, model CostModel) *SimDevice {
 		d.store = &memStore{img: getImage(size)}
 	}
 	d.failAfterFlushes = -1
+	d.failAfterDrains = -1
+	d.failAfterWrites = -1
+	d.failFromEvent = -1
 	d.lastBlk = -1
 	d.lastGranule = -1
 	d.lastGranule2 = -1
@@ -420,6 +461,9 @@ func (d *SimDevice) accessWrite(off, n int64) []byte {
 	if n == 0 {
 		return nil
 	}
+	if len(d.pending) != 0 {
+		d.snapshotPending(off, n)
+	}
 	d.charge(off, n, d.model.WriteNanos, true)
 	d.writes++
 	d.bytesWritten += n
@@ -452,6 +496,15 @@ func (d *SimDevice) WriteAt(p []byte, off int64) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
+	if d.failAfterWrites >= 0 {
+		d.failAfterWrites--
+		if d.failAfterWrites < 0 {
+			return 0, ErrFailPoint
+		}
+	}
+	if len(d.pending) != 0 {
+		d.snapshotPending(off, int64(len(p)))
+	}
 	d.charge(off, int64(len(p)), d.model.WriteNanos, true)
 	d.writes++
 	d.bytesWritten += int64(len(p))
@@ -462,7 +515,25 @@ func (d *SimDevice) WriteAt(p []byte, off int64) (int, error) {
 	return len(p), nil
 }
 
-// Flush implements Device: pushes [off, off+n) to the durable image.
+// snapshotPending materializes copy-on-write snapshots for pending flushes
+// overlapping [off, off+n): a flush captures the volatile bytes as they were
+// when it was issued, so a later store to the same range must not leak into
+// what reaches media.
+func (d *SimDevice) snapshotPending(off, n int64) {
+	if off >= d.pendingHi || off+n <= d.pendingLo {
+		return
+	}
+	for i := range d.pending {
+		p := &d.pending[i]
+		if p.data != nil || off >= p.off+p.n || off+n <= p.off {
+			continue
+		}
+		p.data = append([]byte(nil), d.buf[p.off:p.off+p.n]...)
+	}
+}
+
+// Flush implements Device: captures [off, off+n) into the pending set.  The
+// bytes become durable only at the next successful Drain.
 func (d *SimDevice) Flush(off, n int64) error {
 	if err := d.checkRange(off, n); err != nil {
 		return err
@@ -470,8 +541,10 @@ func (d *SimDevice) Flush(off, n int64) error {
 	d.flushes++
 	d.flushedBytes += n
 	d.modeledNanos += granules(off, n, d.model.Granule) * d.model.FlushNanos
-	if d.store == nil {
-		return nil // volatile medium: nothing to persist
+	ev := d.persistEvents
+	d.persistEvents++
+	if d.failFromEvent >= 0 && ev >= d.failFromEvent {
+		return ErrFailPoint
 	}
 	if d.failAfterFlushes >= 0 {
 		d.failAfterFlushes--
@@ -479,18 +552,47 @@ func (d *SimDevice) Flush(off, n int64) error {
 			return ErrFailPoint
 		}
 	}
+	if d.store == nil {
+		return nil // volatile medium: nothing to persist
+	}
+	if n == 0 {
+		return nil
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return ErrClosed
 	}
-	return d.store.persist(off, d.buf[off:off+n])
+	d.pending = append(d.pending, pendingRange{off: off, n: n})
+	if len(d.pending) == 1 {
+		d.pendingLo, d.pendingHi = off, off+n
+	} else {
+		if off < d.pendingLo {
+			d.pendingLo = off
+		}
+		if off+n > d.pendingHi {
+			d.pendingHi = off + n
+		}
+	}
+	return nil
 }
 
-// Drain implements Device: makes all completed flushes durable.
+// Drain implements Device: retires the whole pending set into the durable
+// image, in flush order, then syncs the backing store.
 func (d *SimDevice) Drain() error {
 	d.drains++
 	d.modeledNanos += d.model.DrainNanos
+	ev := d.persistEvents
+	d.persistEvents++
+	if d.failFromEvent >= 0 && ev >= d.failFromEvent {
+		return ErrFailPoint
+	}
+	if d.failAfterDrains >= 0 {
+		d.failAfterDrains--
+		if d.failAfterDrains < 0 {
+			return ErrFailPoint
+		}
+	}
 	if d.store == nil {
 		return nil
 	}
@@ -499,19 +601,57 @@ func (d *SimDevice) Drain() error {
 	if d.closed {
 		return ErrClosed
 	}
+	for _, p := range d.pending {
+		src := p.data
+		if src == nil {
+			src = d.buf[p.off : p.off+p.n]
+		}
+		if err := d.store.persist(p.off, src); err != nil {
+			return err
+		}
+	}
+	d.dropPendingLocked()
 	return d.store.sync()
 }
 
-// Crash simulates a power failure: the volatile image is discarded and
-// reloaded from the durable image.  Unflushed writes vanish.  The device
-// stays usable; stats and cache are reset.  Volatile (DRAM) devices come
-// back zero-filled.
+func (d *SimDevice) dropPendingLocked() {
+	clear(d.pending) // release snapshot buffers to the GC
+	d.pending = d.pending[:0]
+	d.pendingLo, d.pendingHi = 0, 0
+}
+
+// Crash simulates a power failure: the pending set is dropped, and the
+// volatile image is discarded and reloaded from the durable image.  Writes
+// that were not both flushed and drained vanish.  The device stays usable;
+// stats and cache are reset.  Volatile (DRAM) devices come back zero-filled.
 func (d *SimDevice) Crash() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.crashLocked(nil)
+}
+
+// CrashAt simulates a power failure past ADR: of the granules whose flush was
+// initiated but not yet fenced by a Drain, a seeded arbitrary subset reaches
+// media — each pending granule independently survives or is lost, so torn
+// and reordered write-backs within and across flushed ranges are both
+// covered.  The same seed always persists the same subset.  Everything else
+// behaves like Crash.
+func (d *SimDevice) CrashAt(seed int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.crashLocked(rand.New(rand.NewSource(seed)))
+}
+
+func (d *SimDevice) crashLocked(rng *rand.Rand) error {
 	if d.closed {
 		return ErrClosed
 	}
+	if rng != nil && d.store != nil && len(d.pending) > 0 {
+		if err := d.persistPendingSubset(rng); err != nil {
+			return err
+		}
+	}
+	d.dropPendingLocked()
 	clear(d.buf[:min(d.dirtyHi, int64(len(d.buf)))])
 	d.dirtyHi = 0
 	if d.store != nil {
@@ -530,13 +670,130 @@ func (d *SimDevice) Crash() error {
 	return nil
 }
 
+// persistPendingSubset writes a seeded subset of the pending set's granules
+// to the durable store.  Granule survival is decided once per distinct
+// granule; the surviving intersections are then applied in flush order, so
+// within one granule the latest flush wins — exactly the write-back
+// semantics of a media granule that made it out of the XPBuffer.
+func (d *SimDevice) persistPendingSubset(rng *rand.Rand) error {
+	g := d.model.Granule
+	seen := make(map[int64]bool)
+	var order []int64
+	for _, p := range d.pending {
+		for gr := p.off / g; gr <= (p.off+p.n-1)/g; gr++ {
+			if !seen[gr] {
+				seen[gr] = true
+				order = append(order, gr)
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	kept := make(map[int64]bool, len(order))
+	for _, gr := range order {
+		if rng.Intn(2) == 1 {
+			kept[gr] = true
+		}
+	}
+	for _, p := range d.pending {
+		src := p.data
+		if src == nil {
+			src = d.buf[p.off : p.off+p.n]
+		}
+		for gr := p.off / g; gr <= (p.off+p.n-1)/g; gr++ {
+			if !kept[gr] {
+				continue
+			}
+			lo := max(p.off, gr*g)
+			hi := min(p.off+p.n, (gr+1)*g)
+			if err := d.store.persist(lo, src[lo-p.off:hi-p.off]); err != nil {
+				return err
+			}
+		}
+	}
+	return d.store.sync()
+}
+
+// CloneDurable snapshots the durable image and pending set into a fresh
+// in-memory device with the same kind, size, and cost model but zeroed stats
+// and disarmed fail points.  The clone's volatile image is the durable image
+// (the post-crash view).  One golden run can seed many independent crash
+// explorations: clone, then CrashAt with different seeds, without disturbing
+// the source device.  Cloning a volatile device yields a zero-filled one —
+// DRAM has no durable contents.
+func (d *SimDevice) CloneDurable() (*SimDevice, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	nd := NewWithModel(d.kind, int64(len(d.buf)), d.model)
+	if d.store == nil {
+		return nd, nil
+	}
+	if err := d.store.load(nd.buf); err != nil {
+		return nil, err
+	}
+	hi := int64(len(nd.buf))
+	if ms, ok := d.store.(*memStore); ok {
+		hi = min(ms.hi, hi)
+	}
+	nd.dirtyHi = hi
+	if nms, ok := nd.store.(*memStore); ok {
+		copy(nms.img[:hi], nd.buf[:hi])
+		nms.hi = hi
+	}
+	for _, p := range d.pending {
+		src := p.data
+		if src == nil {
+			src = d.buf[p.off : p.off+p.n]
+		}
+		nd.pending = append(nd.pending, pendingRange{off: p.off, n: p.n, data: append([]byte(nil), src...)})
+	}
+	nd.pendingLo, nd.pendingHi = d.pendingLo, d.pendingHi
+	return nd, nil
+}
+
+// PersistEvents returns how many persistence events (Flush and Drain calls,
+// combined) the device has seen over its lifetime.  Unlike Stats it is never
+// reset, not even by Crash: crash-exploration harnesses use it to name a
+// crash point as "after persistence event i" consistently across a golden
+// run and its replays.
+func (d *SimDevice) PersistEvents() int64 { return d.persistEvents }
+
+// FailFromPersistEvent arms a fail point on the combined flush/drain
+// sequence: persistence event n (0-based, counted from device creation) and
+// every later one fail with ErrFailPoint.  The device is "dead" from that
+// point of the persistence schedule on, which is exactly what a crash-point
+// replay needs.  n at or past the workload's total event count never fires.
+func (d *SimDevice) FailFromPersistEvent(n int64) { d.failFromEvent = n }
+
 // FailAfterFlushes arms a fail point: the next n flushes succeed, then every
-// flush fails with ErrFailPoint until DisarmFailPoint.  Crash-injection
-// tests use this to interrupt persistence mid-phase.
+// flush fails with ErrFailPoint until disarmed.  Crash-injection tests use
+// this to interrupt persistence mid-phase.  Fires on volatile devices too.
 func (d *SimDevice) FailAfterFlushes(n int64) { d.failAfterFlushes = n }
 
-// DisarmFailPoint clears any armed fail point.
+// FailAfterDrains arms a fail point: the next n drains succeed, then every
+// drain fails with ErrFailPoint until disarmed.  Fires on volatile devices
+// too.
+func (d *SimDevice) FailAfterDrains(n int64) { d.failAfterDrains = n }
+
+// FailAfterWrites arms a fail point: the next n WriteAt calls succeed, then
+// every WriteAt fails with ErrFailPoint until disarmed.  It applies to the
+// Device.WriteAt path only — accessor stores cannot fail, mirroring real CPU
+// store instructions.
+func (d *SimDevice) FailAfterWrites(n int64) { d.failAfterWrites = n }
+
+// DisarmFailPoint clears the flush fail point (historical name; prefer
+// DisarmFailPoints).
 func (d *SimDevice) DisarmFailPoint() { d.failAfterFlushes = -1 }
+
+// DisarmFailPoints clears every armed fail point.
+func (d *SimDevice) DisarmFailPoints() {
+	d.failAfterFlushes = -1
+	d.failAfterDrains = -1
+	d.failAfterWrites = -1
+	d.failFromEvent = -1
+}
 
 // Close implements Device.
 func (d *SimDevice) Close() error {

@@ -10,6 +10,15 @@ import (
 	"github.com/text-analytics/ntadoc/internal/nvm"
 )
 
+// must fails the test on a persistence-path error; used where the call's
+// effect, not its error, is under test.
+func must(t testing.TB, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func newTestPool(t *testing.T, size int64) (*Pool, *nvm.SimDevice) {
 	t.Helper()
 	dev := nvm.New(nvm.KindNVM, size)
@@ -71,9 +80,9 @@ func TestOpenCorruptHeader(t *testing.T) {
 	dev.ReadAt(b[:], offTop)
 	b[0] ^= 0xff
 	dev.WriteAt(b[:], offTop)
-	dev.Flush(0, headerSize)
-	dev.Drain()
-	dev.Crash()
+	must(t, dev.Flush(0, headerSize))
+	must(t, dev.Drain())
+	must(t, dev.Crash())
 	if _, err := Open(dev); !errors.Is(err, ErrCorrupt) {
 		t.Errorf("Open with corrupt header: %v", err)
 	}
@@ -154,7 +163,7 @@ func TestPhaseLevelCrashRevertsToCheckpoint(t *testing.T) {
 	b.PutUint64(0, 2)
 	a.PutUint64(0, 99) // overwrite phase-1 data without flushing
 
-	dev.Crash()
+	must(t, dev.Crash())
 	p2, err := Open(dev)
 	if err != nil {
 		t.Fatalf("Open: %v", err)
@@ -177,8 +186,8 @@ func TestCheckpointEpochIncrements(t *testing.T) {
 	if p.Epoch() != 0 {
 		t.Fatalf("initial epoch = %d", p.Epoch())
 	}
-	p.Checkpoint(1)
-	p.Checkpoint(2)
+	must(t, p.Checkpoint(1))
+	must(t, p.Checkpoint(2))
 	if p.Epoch() != 2 {
 		t.Errorf("epoch = %d, want 2", p.Epoch())
 	}
@@ -191,7 +200,7 @@ func TestTxCommitDurable(t *testing.T) {
 	p, dev := newTestPool(t, 1<<20)
 	a, _ := p.Alloc(128, 8)
 	p.SetRoot(0, a.Base())
-	p.Checkpoint(1)
+	must(t, p.Checkpoint(1))
 
 	tx, err := p.Begin()
 	if err != nil {
@@ -207,7 +216,7 @@ func TestTxCommitDurable(t *testing.T) {
 		t.Fatalf("Commit: %v", err)
 	}
 
-	dev.Crash()
+	must(t, dev.Crash())
 	p2, err := Open(dev)
 	if err != nil {
 		t.Fatalf("Open: %v", err)
@@ -227,12 +236,12 @@ func TestTxCrashBeforeCommitLosesWrites(t *testing.T) {
 	a, _ := p.Alloc(128, 8)
 	a.PutUint64(0, 1)
 	p.SetRoot(0, a.Base())
-	p.Checkpoint(1)
+	must(t, p.Checkpoint(1))
 
 	tx, _ := p.Begin()
 	tx.WriteUint64(a.Base(), 666)
 	// No commit: crash now.
-	dev.Crash()
+	must(t, dev.Crash())
 	p2, err := Open(dev)
 	if err != nil {
 		t.Fatalf("Open: %v", err)
@@ -250,7 +259,7 @@ func TestTxRecoveryReplaysCommittedLog(t *testing.T) {
 	a, _ := p.Alloc(128, 8)
 	a.PutUint64(0, 1)
 	p.SetRoot(0, a.Base())
-	p.Checkpoint(1)
+	must(t, p.Checkpoint(1))
 
 	tx, _ := p.Begin()
 	if err := tx.WriteUint64(a.Base(), 555); err != nil {
@@ -270,7 +279,7 @@ func TestTxRecoveryReplaysCommittedLog(t *testing.T) {
 	if err := dev.Drain(); err != nil {
 		t.Fatalf("drain: %v", err)
 	}
-	dev.Crash()
+	must(t, dev.Crash())
 
 	p2, err := Open(dev)
 	if err != nil {
@@ -324,7 +333,7 @@ func TestTxWriteAmplification(t *testing.T) {
 	tx, _ := p.Begin()
 	payload := make([]byte, 1024)
 	tx.Write(a.Base(), payload)
-	tx.Commit()
+	must(t, tx.Commit())
 	if w := dev.Stats().BytesWritten; w < 2*1024 {
 		t.Errorf("bytes written = %d, want >= 2x payload (log + in place)", w)
 	}
@@ -372,7 +381,7 @@ func TestQuickTxDurability(t *testing.T) {
 			return false
 		}
 		p.SetRoot(0, a.Base())
-		p.Checkpoint(1)
+		must(t, p.Checkpoint(1))
 		tx, _ := p.Begin()
 		for i, v := range vals {
 			if err := tx.WriteUint32(a.Base()+int64(i)*4, v); err != nil {
@@ -382,7 +391,7 @@ func TestQuickTxDurability(t *testing.T) {
 		if err := tx.Commit(); err != nil {
 			return false
 		}
-		dev.Crash()
+		must(t, dev.Crash())
 		p2, err := Open(dev)
 		if err != nil {
 			return false

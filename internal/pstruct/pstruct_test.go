@@ -10,6 +10,15 @@ import (
 	"github.com/text-analytics/ntadoc/internal/pmem"
 )
 
+// must fails the test on a persistence-path error; used where the call's
+// effect, not its error, is under test.
+func must(t testing.TB, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func testPool(t testing.TB, size int64) *pmem.Pool {
 	t.Helper()
 	dev := nvm.New(nvm.KindNVM, size)
@@ -112,7 +121,7 @@ func TestVectorPersistence(t *testing.T) {
 	if err := p.Checkpoint(1); err != nil {
 		t.Fatalf("Checkpoint: %v", err)
 	}
-	dev.Crash()
+	must(t, dev.Crash())
 	p2, err := pmem.Open(dev)
 	if err != nil {
 		t.Fatalf("Open: %v", err)
@@ -257,10 +266,10 @@ func TestHashTableReopen(t *testing.T) {
 	for i := uint64(0); i < 20; i++ {
 		h.Add(i, i+1)
 	}
-	h.Flush()
+	must(t, h.Flush())
 	p.SetRoot(1, h.Base())
-	p.Checkpoint(1)
-	dev.Crash()
+	must(t, p.Checkpoint(1))
+	must(t, dev.Crash())
 
 	p2, _ := pmem.Open(dev)
 	off, _ := p2.Root(1)
@@ -602,10 +611,10 @@ func TestDenseCounterRangeAndReopen(t *testing.T) {
 		}
 	}
 
-	c.Flush()
+	must(t, c.Flush())
 	p.SetRoot(0, c.Base())
-	p.Checkpoint(1)
-	dev.Crash()
+	must(t, p.Checkpoint(1))
+	must(t, dev.Crash())
 
 	p2, _ := pmem.Open(dev)
 	off, _ := p2.Root(0)
