@@ -13,10 +13,10 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the packages with real concurrency: the parallel
-# experiment harness and the device simulator it drives.
+# Race-detector pass over every package: concurrent query sessions, the
+# parallel experiment harness, and the device simulator they drive.
 race:
-	$(GO) test -race ./internal/harness/ ./internal/nvm/
+	$(GO) test -race ./...
 
 # One iteration of every benchmark, as a compile-and-run smoke test.
 bench-smoke:

@@ -1,0 +1,214 @@
+package ntadoc
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/text-analytics/ntadoc/internal/analytics"
+)
+
+// Task names one of the six analytics tasks for batch execution.
+type Task int
+
+// The analytics tasks, in the paper's order.
+const (
+	TaskWordCount Task = iota
+	TaskSort
+	TaskTermVectors
+	TaskInvertedIndex
+	TaskSequenceCount
+	TaskRankedInvertedIndex
+)
+
+// AllTasks lists every task in the paper's order.
+var AllTasks = []Task{
+	TaskWordCount, TaskSort, TaskTermVectors,
+	TaskInvertedIndex, TaskSequenceCount, TaskRankedInvertedIndex,
+}
+
+// String returns the task's command-line name.
+func (t Task) String() string {
+	switch t {
+	case TaskWordCount:
+		return "wordcount"
+	case TaskSort:
+		return "sort"
+	case TaskTermVectors:
+		return "termvector"
+	case TaskInvertedIndex:
+		return "invertedindex"
+	case TaskSequenceCount:
+		return "seqcount"
+	case TaskRankedInvertedIndex:
+		return "rankedindex"
+	default:
+		return fmt.Sprintf("Task(%d)", int(t))
+	}
+}
+
+// ParseTask resolves a command-line task name.
+func ParseTask(s string) (Task, error) {
+	for _, t := range AllTasks {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("ntadoc: unknown task %q", s)
+}
+
+// NeedsSequences reports whether the task requires sequence preprocessing
+// (i.e. it fails on engines built with NoSequences).
+func (t Task) NeedsSequences() bool {
+	return t == TaskSequenceCount || t == TaskRankedInvertedIndex
+}
+
+// op returns the task's registered analytics op with default parameters.
+func (t Task) op() (analytics.Op, error) {
+	switch t {
+	case TaskWordCount:
+		return analytics.WordCountOp{}, nil
+	case TaskSort:
+		return analytics.SortOp{}, nil
+	case TaskTermVectors:
+		return analytics.TermVectorsOp{K: analytics.DefaultTermVectorK}, nil
+	case TaskInvertedIndex:
+		return analytics.InvertedIndexOp{}, nil
+	case TaskSequenceCount:
+		return analytics.SequenceCountOp{}, nil
+	case TaskRankedInvertedIndex:
+		return analytics.RankedInvertedIndexOp{}, nil
+	default:
+		return nil, fmt.Errorf("ntadoc: unknown task %d", int(t))
+	}
+}
+
+// BatchResult holds the results of one fused batch.  Only the fields of the
+// tasks that were requested are populated.  TermVectors uses the default
+// vector length (analytics.DefaultTermVectorK entries per document).
+type BatchResult struct {
+	WordCount           map[string]uint64
+	Sort                []TermCount
+	TermVectors         [][]TermCount
+	InvertedIndex       map[string][]string
+	SequenceCount       map[string]uint64
+	RankedInvertedIndex map[string][]DocCount
+}
+
+// RunBatch executes the given tasks as one fused traversal: the underlying
+// engine walks its representation once and feeds every compatible task from
+// the same reads, so a batch costs substantially fewer modeled device reads
+// than running the tasks sequentially.  Duplicate tasks are computed once.
+func (e *Engine) RunBatch(tasks ...Task) (*BatchResult, error) {
+	out := &BatchResult{}
+	if len(tasks) == 0 {
+		return out, nil
+	}
+	x, ok := e.inner.(analytics.Executor)
+	if !ok {
+		return nil, fmt.Errorf("ntadoc: engine does not support batch execution")
+	}
+	uniq := make([]Task, 0, len(tasks))
+	seen := make(map[Task]bool)
+	for _, t := range tasks {
+		if !seen[t] {
+			seen[t] = true
+			uniq = append(uniq, t)
+		}
+	}
+	ops := make([]analytics.Op, len(uniq))
+	for i, t := range uniq {
+		op, err := t.op()
+		if err != nil {
+			return nil, err
+		}
+		ops[i] = op
+	}
+	results, err := x.RunOps(ops)
+	if err != nil {
+		return nil, err
+	}
+	for i, t := range uniq {
+		switch t {
+		case TaskWordCount:
+			out.WordCount = e.convWordCounts(results[i].(map[uint32]uint64))
+		case TaskSort:
+			out.Sort = e.convTermCounts(results[i].([]analytics.WordFreq))
+		case TaskTermVectors:
+			out.TermVectors = e.convTermVectors(results[i].([][]analytics.WordFreq))
+		case TaskInvertedIndex:
+			out.InvertedIndex = e.convInvertedIndex(results[i].(map[uint32][]uint32))
+		case TaskSequenceCount:
+			out.SequenceCount = e.convSequenceCounts(results[i].(map[analytics.Seq]uint64))
+		case TaskRankedInvertedIndex:
+			out.RankedInvertedIndex = e.convRankedIndex(results[i].(map[analytics.Seq][]analytics.DocFreq))
+		}
+	}
+	return out, nil
+}
+
+// Conversions from internal ID-keyed results to the public string-keyed
+// forms, shared by the per-task methods and RunBatch.
+
+func (e *Engine) convWordCounts(counts map[uint32]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(counts))
+	for id, c := range counts {
+		out[e.a.d.Word(id)] = c
+	}
+	return out
+}
+
+func (e *Engine) convTermCounts(wf []analytics.WordFreq) []TermCount {
+	out := make([]TermCount, len(wf))
+	for i, w := range wf {
+		out[i] = TermCount{Term: e.a.d.Word(w.Word), Count: w.Freq}
+	}
+	return out
+}
+
+func (e *Engine) convTermVectors(tv [][]analytics.WordFreq) [][]TermCount {
+	out := make([][]TermCount, len(tv))
+	for i, vec := range tv {
+		out[i] = e.convTermCounts(vec)
+	}
+	return out
+}
+
+func (e *Engine) convInvertedIndex(inv map[uint32][]uint32) map[string][]string {
+	out := make(map[string][]string, len(inv))
+	for id, docs := range inv {
+		names := make([]string, len(docs))
+		for i, doc := range docs {
+			names[i] = e.names[doc]
+		}
+		out[e.a.d.Word(id)] = names
+	}
+	return out
+}
+
+func (e *Engine) convSequenceCounts(sc map[analytics.Seq]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(sc))
+	for q, c := range sc {
+		out[e.seqKey(q)] = c
+	}
+	return out
+}
+
+func (e *Engine) convRankedIndex(rii map[analytics.Seq][]analytics.DocFreq) map[string][]DocCount {
+	out := make(map[string][]DocCount, len(rii))
+	for q, postings := range rii {
+		row := make([]DocCount, len(postings))
+		for i, p := range postings {
+			row[i] = DocCount{Doc: e.names[p.Doc], Count: p.Freq}
+		}
+		out[e.seqKey(q)] = row
+	}
+	return out
+}
+
+func (e *Engine) seqKey(q analytics.Seq) string {
+	words := make([]string, len(q))
+	for i, id := range q {
+		words[i] = e.a.d.Word(id)
+	}
+	return strings.Join(words, " ")
+}

@@ -12,6 +12,7 @@
 //	benchfig -fig cross     §III-B/§VI-F: naive NVM port and cross-evaluation
 //	benchfig -fig datasets  Table I analogue: dataset statistics
 //	benchfig -fig prune     §IV-B: grammar redundancy eliminated by pruning
+//	benchfig -fig fused     fused multi-op batch vs sequential single-op runs
 //	benchfig -fig all       everything above
 //
 // -scale shrinks the corpora for quick runs (default 1.0 = the scaled-down
@@ -82,8 +83,9 @@ func main() {
 		"datasets":  figDatasets,
 		"prune":     figPrune,
 		"endurance": figEndurance,
+		"fused":     figFused,
 	}
-	order := []string{"datasets", "prune", "5a", "5b", "6", "7", "dram", "table2", "phases", "traversal", "cross", "endurance"}
+	order := []string{"datasets", "prune", "5a", "5b", "6", "7", "dram", "table2", "phases", "traversal", "cross", "endurance", "fused"}
 
 	for rep := 0; rep < *benchrepeat; rep++ {
 		if *fig == "all" {
@@ -596,6 +598,42 @@ func figEndurance(specs []datagen.Spec) error {
 		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1fx\n",
 			spec.Name, cell.pl, cell.ol, cell.nv, float64(cell.nv)/float64(cell.pl))
 	}
+	return w.Flush()
+}
+
+// figFused quantifies the operation kernel's fused execution: all six tasks
+// in one traversal versus six back-to-back single-op runs on an identical
+// engine — modeled traversal time and device read traffic.
+func figFused(specs []datagen.Spec) error {
+	header("Fused execution: all six tasks, one traversal vs six sequential runs")
+	ops := analytics.Ops()
+	cells := make([]harness.FusedCell, len(specs))
+	err := harness.ForEachCell(len(cells), func(i int) error {
+		c, err := harness.GetCorpus(specs[i])
+		if err != nil {
+			return err
+		}
+		cells[i], err = harness.RunFusedComparison(c, ops, core.Options{})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "dataset\tsequential\tfused\tspeedup\tseq reads\tfused reads\tread reduction")
+	var speedups, reductions []float64
+	for i, spec := range specs {
+		cell := cells[i]
+		speedup := ratio(cell.SeqNanos, cell.FusedNanos)
+		reduction := 1 - float64(cell.FusedReads)/float64(cell.SeqReads)
+		speedups = append(speedups, speedup)
+		reductions = append(reductions, reduction)
+		fmt.Fprintf(w, "%s\t%.2f ms\t%.2f ms\t%.2fx\t%d\t%d\t%.1f%%\n",
+			spec.Name, ms(cell.SeqNanos), ms(cell.FusedNanos), speedup,
+			cell.SeqReads, cell.FusedReads, reduction*100)
+	}
+	fmt.Fprintf(w, "mean\t\t\t%.2fx\t\t\t%.1f%%\n",
+		harness.GeoMean(speedups), mean(reductions)*100)
 	return w.Flush()
 }
 

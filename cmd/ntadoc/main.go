@@ -5,10 +5,13 @@
 //	ntadoc stats corpus.tdc
 //	ntadoc analyze -task wordcount -top 20 corpus.tdc
 //	ntadoc analyze -task seqcount -medium dram corpus.tdc
+//	ntadoc analyze -task wordcount,sort,invertedindex corpus.tdc
 //	ntadoc decompress -dir out/ corpus.tdc
 //	ntadoc inspect -dot corpus.tdc > dag.dot
 //
 // Tasks: wordcount, sort, termvector, invertedindex, seqcount, rankedindex.
+// A comma-separated -task list runs as one fused batch over a single
+// traversal of the compressed representation.
 // Media: nvm (default, simulated persistent memory), dram (original TADOC),
 // ssd, hdd.
 package main
@@ -19,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"github.com/text-analytics/ntadoc"
 )
@@ -133,13 +137,21 @@ func mediumFromFlag(name string) (ntadoc.Medium, error) {
 
 func cmdAnalyze(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
-	task := fs.String("task", "wordcount", "wordcount|sort|termvector|invertedindex|seqcount|rankedindex")
+	task := fs.String("task", "wordcount", "comma-separated list of wordcount|sort|termvector|invertedindex|seqcount|rankedindex")
 	medium := fs.String("medium", "nvm", "nvm|dram|ssd|hdd")
-	top := fs.Int("top", 20, "print at most this many result lines (0 = all)")
+	top := fs.Int("top", 20, "print at most this many result lines per task (0 = all)")
 	pool := fs.String("pool", "", "file-backed NVM pool path (persists across runs)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("analyze: expected one archive path")
+	}
+	var tasks []ntadoc.Task
+	for _, name := range strings.Split(*task, ",") {
+		t, err := ntadoc.ParseTask(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		tasks = append(tasks, t)
 	}
 	a, err := loadArchive(fs.Arg(0))
 	if err != nil {
@@ -149,7 +161,10 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	seq := *task == "seqcount" || *task == "rankedindex"
+	seq := false
+	for _, t := range tasks {
+		seq = seq || t.NeedsSequences()
+	}
 	eng, err := ntadoc.NewEngine(a, ntadoc.Options{
 		Medium:      m,
 		PoolPath:    *pool,
@@ -160,97 +175,24 @@ func cmdAnalyze(args []string) error {
 	}
 	defer eng.Close()
 
-	limit := func(n int) int {
-		if *top > 0 && n > *top {
-			return *top
-		}
-		return n
-	}
-
-	switch *task {
-	case "wordcount":
-		counts, err := eng.TopTerms(*top)
+	if len(tasks) > 1 {
+		// Multiple tasks execute as one fused batch: the engine traverses
+		// its representation once and feeds every task from the same reads.
+		res, err := eng.RunBatch(tasks...)
 		if err != nil {
 			return err
 		}
-		for _, tc := range counts {
-			fmt.Printf("%10d  %s\n", tc.Count, tc.Term)
-		}
-	case "sort":
-		terms, err := eng.Sort()
-		if err != nil {
-			return err
-		}
-		for _, tc := range terms[:limit(len(terms))] {
-			fmt.Printf("%-24s %d\n", tc.Term, tc.Count)
-		}
-	case "termvector":
-		vecs, err := eng.TermVectors(*top)
-		if err != nil {
-			return err
-		}
-		names := a.DocumentNames()
-		for i, vec := range vecs {
-			fmt.Printf("%s:", names[i])
-			for _, tc := range vec {
-				fmt.Printf(" %s(%d)", tc.Term, tc.Count)
+		for i, t := range tasks {
+			if i > 0 {
+				fmt.Println()
 			}
-			fmt.Println()
+			fmt.Printf("== %s ==\n", t)
+			printTaskResult(t, res, a.DocumentNames(), *top)
 		}
-	case "invertedindex":
-		inv, err := eng.InvertedIndex()
-		if err != nil {
+	} else {
+		if err := runSingleTask(eng, a, tasks[0], *top); err != nil {
 			return err
 		}
-		words := make([]string, 0, len(inv))
-		for w := range inv {
-			words = append(words, w)
-		}
-		sort.Strings(words)
-		for _, w := range words[:limit(len(words))] {
-			fmt.Printf("%-24s %v\n", w, inv[w])
-		}
-	case "seqcount":
-		sc, err := eng.SequenceCount()
-		if err != nil {
-			return err
-		}
-		type row struct {
-			seq string
-			n   uint64
-		}
-		rows := make([]row, 0, len(sc))
-		for q, n := range sc {
-			rows = append(rows, row{q, n})
-		}
-		sort.Slice(rows, func(i, j int) bool {
-			if rows[i].n != rows[j].n {
-				return rows[i].n > rows[j].n
-			}
-			return rows[i].seq < rows[j].seq
-		})
-		for _, r := range rows[:limit(len(rows))] {
-			fmt.Printf("%10d  %s\n", r.n, r.seq)
-		}
-	case "rankedindex":
-		rii, err := eng.RankedInvertedIndex()
-		if err != nil {
-			return err
-		}
-		seqs := make([]string, 0, len(rii))
-		for q := range rii {
-			seqs = append(seqs, q)
-		}
-		sort.Strings(seqs)
-		for _, q := range seqs[:limit(len(seqs))] {
-			fmt.Printf("%-36s", q)
-			for _, dc := range rii[q] {
-				fmt.Printf(" %s(%d)", dc.Doc, dc.Count)
-			}
-			fmt.Println()
-		}
-	default:
-		return fmt.Errorf("unknown task %q", *task)
 	}
 
 	init, trav := eng.PhaseTimes()
@@ -260,6 +202,116 @@ func cmdAnalyze(args []string) error {
 			init, trav, dev, dram)
 	}
 	return nil
+}
+
+// limitTo caps n at top when top > 0.
+func limitTo(n, top int) int {
+	if top > 0 && n > top {
+		return top
+	}
+	return n
+}
+
+// runSingleTask runs one task through the per-task API (which honors -top
+// for term-vector length) and prints its result.
+func runSingleTask(eng *ntadoc.Engine, a *ntadoc.Archive, t ntadoc.Task, top int) error {
+	res := &ntadoc.BatchResult{}
+	var err error
+	switch t {
+	case ntadoc.TaskWordCount:
+		res.WordCount, err = eng.WordCount()
+	case ntadoc.TaskSort:
+		res.Sort, err = eng.Sort()
+	case ntadoc.TaskTermVectors:
+		res.TermVectors, err = eng.TermVectors(top)
+	case ntadoc.TaskInvertedIndex:
+		res.InvertedIndex, err = eng.InvertedIndex()
+	case ntadoc.TaskSequenceCount:
+		res.SequenceCount, err = eng.SequenceCount()
+	case ntadoc.TaskRankedInvertedIndex:
+		res.RankedInvertedIndex, err = eng.RankedInvertedIndex()
+	}
+	if err != nil {
+		return err
+	}
+	printTaskResult(t, res, a.DocumentNames(), top)
+	return nil
+}
+
+// printTaskResult renders one task's slot of a BatchResult.
+func printTaskResult(t ntadoc.Task, res *ntadoc.BatchResult, names []string, top int) {
+	switch t {
+	case ntadoc.TaskWordCount:
+		type row struct {
+			term string
+			n    uint64
+		}
+		rows := make([]row, 0, len(res.WordCount))
+		for w, n := range res.WordCount {
+			rows = append(rows, row{w, n})
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].n != rows[j].n {
+				return rows[i].n > rows[j].n
+			}
+			return rows[i].term < rows[j].term
+		})
+		for _, r := range rows[:limitTo(len(rows), top)] {
+			fmt.Printf("%10d  %s\n", r.n, r.term)
+		}
+	case ntadoc.TaskSort:
+		for _, tc := range res.Sort[:limitTo(len(res.Sort), top)] {
+			fmt.Printf("%-24s %d\n", tc.Term, tc.Count)
+		}
+	case ntadoc.TaskTermVectors:
+		for i, vec := range res.TermVectors {
+			fmt.Printf("%s:", names[i])
+			for _, tc := range vec {
+				fmt.Printf(" %s(%d)", tc.Term, tc.Count)
+			}
+			fmt.Println()
+		}
+	case ntadoc.TaskInvertedIndex:
+		words := make([]string, 0, len(res.InvertedIndex))
+		for w := range res.InvertedIndex {
+			words = append(words, w)
+		}
+		sort.Strings(words)
+		for _, w := range words[:limitTo(len(words), top)] {
+			fmt.Printf("%-24s %v\n", w, res.InvertedIndex[w])
+		}
+	case ntadoc.TaskSequenceCount:
+		type row struct {
+			seq string
+			n   uint64
+		}
+		rows := make([]row, 0, len(res.SequenceCount))
+		for q, n := range res.SequenceCount {
+			rows = append(rows, row{q, n})
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].n != rows[j].n {
+				return rows[i].n > rows[j].n
+			}
+			return rows[i].seq < rows[j].seq
+		})
+		for _, r := range rows[:limitTo(len(rows), top)] {
+			fmt.Printf("%10d  %s\n", r.n, r.seq)
+		}
+	case ntadoc.TaskRankedInvertedIndex:
+		seqs := make([]string, 0, len(res.RankedInvertedIndex))
+		for q := range res.RankedInvertedIndex {
+			seqs = append(seqs, q)
+		}
+		sort.Strings(seqs)
+		for _, q := range seqs[:limitTo(len(seqs), top)] {
+			fmt.Printf("%-36s", q)
+			for _, dc := range res.RankedInvertedIndex[q] {
+				fmt.Printf(" %s(%d)", dc.Doc, dc.Count)
+			}
+			fmt.Println()
+		}
+	}
 }
 
 func cmdDecompress(args []string) error {

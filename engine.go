@@ -2,7 +2,6 @@ package ntadoc
 
 import (
 	"sort"
-	"strings"
 	"time"
 
 	"github.com/text-analytics/ntadoc/internal/analytics"
@@ -124,11 +123,7 @@ func (e *Engine) WordCount() (map[string]uint64, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string]uint64, len(counts))
-	for id, c := range counts {
-		out[e.a.d.Word(id)] = c
-	}
-	return out, nil
+	return e.convWordCounts(counts), nil
 }
 
 // Sort returns the distinct words with counts in alphabetical order.
@@ -137,29 +132,17 @@ func (e *Engine) Sort() ([]TermCount, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]TermCount, len(wf))
-	for i, w := range wf {
-		out[i] = TermCount{Term: e.a.d.Word(w.Word), Count: w.Freq}
-	}
-	return out, nil
+	return e.convTermCounts(wf), nil
 }
 
 // TermVectors returns each document's words by descending frequency,
 // truncated to k entries when k > 0.
 func (e *Engine) TermVectors(k int) ([][]TermCount, error) {
-	tv, err := e.inner.TermVector(k)
+	tv, err := e.inner.TermVectors(k)
 	if err != nil {
 		return nil, err
 	}
-	out := make([][]TermCount, len(tv))
-	for i, vec := range tv {
-		row := make([]TermCount, len(vec))
-		for j, w := range vec {
-			row[j] = TermCount{Term: e.a.d.Word(w.Word), Count: w.Freq}
-		}
-		out[i] = row
-	}
-	return out, nil
+	return e.convTermVectors(tv), nil
 }
 
 // InvertedIndex maps each word to the names of the documents containing it,
@@ -169,15 +152,7 @@ func (e *Engine) InvertedIndex() (map[string][]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string][]string, len(inv))
-	for id, docs := range inv {
-		names := make([]string, len(docs))
-		for i, doc := range docs {
-			names[i] = e.names[doc]
-		}
-		out[e.a.d.Word(id)] = names
-	}
-	return out, nil
+	return e.convInvertedIndex(inv), nil
 }
 
 // SequenceCount returns the occurrences of each three-word sequence, keyed
@@ -187,11 +162,7 @@ func (e *Engine) SequenceCount() (map[string]uint64, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string]uint64, len(sc))
-	for q, c := range sc {
-		out[e.seqKey(q)] = c
-	}
-	return out, nil
+	return e.convSequenceCounts(sc), nil
 }
 
 // RankedInvertedIndex maps each three-word sequence to its documents in
@@ -201,23 +172,7 @@ func (e *Engine) RankedInvertedIndex() (map[string][]DocCount, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string][]DocCount, len(rii))
-	for q, postings := range rii {
-		row := make([]DocCount, len(postings))
-		for i, p := range postings {
-			row[i] = DocCount{Doc: e.names[p.Doc], Count: p.Freq}
-		}
-		out[e.seqKey(q)] = row
-	}
-	return out, nil
-}
-
-func (e *Engine) seqKey(q analytics.Seq) string {
-	words := make([]string, len(q))
-	for i, id := range q {
-		words[i] = e.a.d.Word(id)
-	}
-	return strings.Join(words, " ")
+	return e.convRankedIndex(rii), nil
 }
 
 // TopTerms is a convenience: the n most frequent words across the archive,

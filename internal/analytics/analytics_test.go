@@ -459,7 +459,7 @@ type stubEngine struct{}
 
 func (stubEngine) WordCount() (map[uint32]uint64, error) { return nil, nil }
 func (stubEngine) Sort() ([]WordFreq, error)             { return nil, nil }
-func (stubEngine) TermVector(int) ([][]WordFreq, error)  { return nil, nil }
+func (stubEngine) TermVectors(int) ([][]WordFreq, error) { return nil, nil }
 func (stubEngine) InvertedIndex() (map[uint32][]uint32, error) {
 	return nil, nil
 }

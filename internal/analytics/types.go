@@ -80,7 +80,7 @@ type DocFreq struct {
 type Engine interface {
 	WordCount() (map[uint32]uint64, error)
 	Sort() ([]WordFreq, error)
-	TermVector(k int) ([][]WordFreq, error)
+	TermVectors(k int) ([][]WordFreq, error)
 	InvertedIndex() (map[uint32][]uint32, error)
 	SequenceCount() (map[Seq]uint64, error)
 	RankedInvertedIndex() (map[Seq][]DocFreq, error)
@@ -96,7 +96,7 @@ func Run(e Engine, t Task) error {
 	case Sort:
 		_, err = e.Sort()
 	case TermVector:
-		_, err = e.TermVector(10)
+		_, err = e.TermVectors(DefaultTermVectorK)
 	case InvertedIndex:
 		_, err = e.InvertedIndex()
 	case SequenceCount:

@@ -215,7 +215,7 @@ func TestPoolEstimateCoversActualUse(t *testing.T) {
 		}
 		e := newEngine(t, g, d, opts)
 		// Run the heaviest tasks; the pool must never run out.
-		if _, err := e.TermVector(5); err != nil {
+		if _, err := e.TermVectors(5); err != nil {
 			t.Fatalf("seq=%v TermVector: %v", seq, err)
 		}
 		if seq {

@@ -57,13 +57,10 @@ type Engine struct {
 
 	dramExtra int64 // DRAM estimate of engine-held maps beyond the pool
 
-	// Traversal scratch, reused across body reads.  Valid only until the
-	// next read of the same kind; no caller retains these slices.
-	bodyFlat  []uint32
-	bodySubs  []pair
-	bodyWords []pair
-	rawSyms   []cfg.Symbol
-	edgeToks  []uint32
+	// run is the engine's persistent-path execution context: the operation
+	// kernel bound to the pool structures and the engine meter.  Query
+	// sessions carry their own exec bound to session-local state instead.
+	run exec
 }
 
 var _ analytics.Engine = (*Engine)(nil)
@@ -118,6 +115,7 @@ func New(g *cfg.Grammar, d *dict.Dictionary, opts Options) (*Engine, error) {
 		numWords: g.NumWords,
 		numFiles: g.NumFiles,
 	}
+	e.run = exec{e: e, meter: meter}
 	if err := e.initialize(g, prep); err != nil {
 		return nil, err
 	}

@@ -55,7 +55,7 @@ func checkAllTasks(t *testing.T, e *Engine, files [][]uint32, d *dict.Dictionary
 	if !reflect.DeepEqual(srt, analytics.RefSort(files, d)) {
 		t.Error("sort mismatch")
 	}
-	tv, err := e.TermVector(6)
+	tv, err := e.TermVectors(6)
 	if err != nil {
 		t.Fatalf("TermVector: %v", err)
 	}
@@ -138,7 +138,7 @@ func TestAblationCombos(t *testing.T) {
 			if !reflect.DeepEqual(wc, analytics.RefWordCount(files)) {
 				t.Error("word count mismatch")
 			}
-			tv, err := e.TermVector(4)
+			tv, err := e.TermVectors(4)
 			if err != nil {
 				t.Fatalf("TermVector: %v", err)
 			}
@@ -170,7 +170,7 @@ func TestBothStrategiesOnManyFiles(t *testing.T) {
 	files, d, g := corpus(t, 35, 60, 40, 30)
 	for _, strat := range []Strategy{TopDown, BottomUp, Auto} {
 		e := newEngine(t, g, d, Options{Strategy: strat})
-		tv, err := e.TermVector(3)
+		tv, err := e.TermVectors(3)
 		if err != nil {
 			t.Fatalf("%v: TermVector: %v", strat, err)
 		}
@@ -370,7 +370,7 @@ func TestEmptyAndTinyCorpora(t *testing.T) {
 	if err != nil || len(wc) != 0 {
 		t.Errorf("empty WordCount = %v, %v", wc, err)
 	}
-	tv, err := e.TermVector(3)
+	tv, err := e.TermVectors(3)
 	if err != nil || len(tv) != 1 || len(tv[0]) != 0 {
 		t.Errorf("empty TermVector = %v, %v", tv, err)
 	}
@@ -489,7 +489,7 @@ func TestQuickEngineMatchesReferenceOnRandomCorpora(t *testing.T) {
 		if !reflect.DeepEqual(wc, analytics.RefWordCount(files)) {
 			t.Errorf("seed %d (%+v): word count mismatch", seed, opts)
 		}
-		tv, err := e.TermVector(4)
+		tv, err := e.TermVectors(4)
 		if err != nil {
 			t.Fatalf("seed %d: TermVector: %v", seed, err)
 		}

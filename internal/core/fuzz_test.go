@@ -60,10 +60,10 @@ func FuzzOpLogRecovery(f *testing.F) {
 	}
 
 	f.Add([]byte{})
-	f.Add([]byte{0, 0, 0xff})    // log epoch header byte
-	f.Add([]byte{4, 0, 0xff})    // pool-epoch header byte
-	f.Add([]byte{36, 0, 0xff})   // record 0 CRC byte (header 8 + crc field 28)
-	f.Add([]byte{24, 0, 0x01})   // record 0 delta low byte
+	f.Add([]byte{0, 0, 0xff})                // log epoch header byte
+	f.Add([]byte{4, 0, 0xff})                // pool-epoch header byte
+	f.Add([]byte{36, 0, 0xff})               // record 0 CRC byte (header 8 + crc field 28)
+	f.Add([]byte{24, 0, 0x01})               // record 0 delta low byte
 	f.Add([]byte{72, 0, 0x80, 104, 0, 0x01}) // records 2 and 3
 	f.Add([]byte{40, 0, 0x02, 4, 0, 0x10, 255, 255, 0xaa})
 

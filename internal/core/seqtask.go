@@ -12,7 +12,9 @@ import (
 // 32-byte head/tail edge record (§IV-D).  The traversal phase combines them
 // along the ordered root body without expanding any rule: a segment's count
 // is the sum of its rules' internal counts plus the boundary-spanning
-// windows reconstructed from edge records.
+// windows reconstructed from edge records.  The walks here are kernel
+// building blocks; the sequence tasks themselves are analytics.Op folds
+// driven by runPlan (kernel.go).
 
 // edgeInfo is one rule's edge record read from the pool.
 type edgeInfo struct {
@@ -23,13 +25,13 @@ type edgeInfo struct {
 
 // readEdge fetches rule r's edge record.  The returned token slice is
 // scratch, valid only until the next readEdge call.
-func (e *Engine) readEdge(r uint32) edgeInfo {
-	rec := e.edgesAcc.Slice(int64(r)*edgeSize, edgeSize)
+func (x *exec) readEdge(r uint32) edgeInfo {
+	rec := x.e.edgesAcc.Slice(int64(r)*edgeSize, edgeSize)
 	n := int64(rec.Byte(edgeCount))
-	if int64(cap(e.edgeToks)) < n {
-		e.edgeToks = make([]uint32, n)
+	if int64(cap(x.edgeToks)) < n {
+		x.edgeToks = make([]uint32, n)
 	}
-	toks := e.edgeToks[:n]
+	toks := x.edgeToks[:n]
 	rec.Uint32s(edgeTokens, toks)
 	return edgeInfo{
 		length: int64(rec.Uint64(edgeLen)),
@@ -49,7 +51,7 @@ type poolStreamToken struct {
 // spanning window, reading per-rule edges from the pool.  Separators are
 // hard breaks.  This mirrors analytics.addSpanningWindows, sourcing from
 // NVM instead of DRAM summaries.
-func (e *Engine) spanningWindowsPool(syms []cfg.Symbol, emit func(analytics.Seq)) {
+func (x *exec) spanningWindowsPool(syms []cfg.Symbol, emit func(analytics.Seq)) {
 	var stream []poolStreamToken
 	flush := func() {
 		for i := 0; i+analytics.SeqLen <= len(stream); i++ {
@@ -78,7 +80,7 @@ func (e *Engine) spanningWindowsPool(syms []cfg.Symbol, emit func(analytics.Seq)
 		case s.IsWord():
 			stream = append(stream, poolStreamToken{tok: s.WordID(), sym: idx})
 		case s.IsRule():
-			info := e.readEdge(s.RuleIndex())
+			info := x.readEdge(s.RuleIndex())
 			if !info.split {
 				for _, t := range info.tokens {
 					stream = append(stream, poolStreamToken{tok: t, sym: idx})
@@ -100,7 +102,8 @@ func (e *Engine) spanningWindowsPool(syms []cfg.Symbol, emit func(analytics.Seq)
 
 // addSegmentSeqCounts accumulates a symbol sequence's n-gram counts into
 // counter: per-rule internal counts from pool tables, plus spanning windows.
-func (e *Engine) addSegmentSeqCounts(syms []cfg.Symbol, counter counterTable, counterOff int64) error {
+func (x *exec) addSegmentSeqCounts(syms []cfg.Symbol, counter *kcounter) error {
+	e := x.e
 	for _, s := range syms {
 		if !s.IsRule() {
 			continue
@@ -115,22 +118,22 @@ func (e *Engine) addSegmentSeqCounts(syms []cfg.Symbol, counter counterTable, co
 		}
 		var addErr error
 		tbl.Range(func(k, v uint64) bool {
-			addErr = e.addCount(counter, counterOff, k, v)
+			addErr = x.add(counter, k, v)
 			return addErr == nil
 		})
 		if addErr != nil {
 			return addErr
 		}
-		if err := e.opCommit(); err != nil {
+		if err := x.commit(); err != nil {
 			return err
 		}
 	}
 	var emitErr error
-	e.spanningWindowsPool(syms, func(q analytics.Seq) {
+	x.spanningWindowsPool(syms, func(q analytics.Seq) {
 		if emitErr != nil {
 			return
 		}
-		e.meter.Charge(1, metrics.CostSeqOp) // DRAM intern lookup
+		x.meter.Charge(1, metrics.CostSeqOp) // DRAM intern lookup
 		id, ok := e.seqIDs[q]
 		if !ok {
 			// Every possible window was interned at initialization; an
@@ -138,17 +141,18 @@ func (e *Engine) addSegmentSeqCounts(syms []cfg.Symbol, counter counterTable, co
 			emitErr = errEngine("sequence traversal", ErrNoSequences)
 			return
 		}
-		emitErr = e.addCount(counter, counterOff, uint64(id), 1)
+		emitErr = x.add(counter, uint64(id), 1)
 	})
 	if emitErr != nil {
 		return emitErr
 	}
-	return e.opCommit()
+	return x.commit()
 }
 
 // seqBound bounds a segment's distinct-sequence count by its expansion
 // length (each window starts at one token).
-func (e *Engine) seqBound(syms []cfg.Symbol) int64 {
+func (x *exec) seqBound(syms []cfg.Symbol) int64 {
+	e := x.e
 	var length int64
 	for _, s := range syms {
 		switch {
@@ -177,62 +181,11 @@ func (e *Engine) localTable(r uint32) (pstruct.Counter, error) {
 	return pstruct.OpenCounterAt(e.pool, off)
 }
 
-// computeWeights runs the top-down weight propagation (the pool traversal
-// queue driving Kahn's algorithm) leaving each rule's corpus-wide weight in
-// its metadata slot.
-func (e *Engine) computeWeights() error {
-	for r := uint32(0); r < e.numRules; r++ {
-		m := e.meta(r)
-		m.setWeight(0)
-		m.setScratch(uint64(m.inDeg()))
-	}
-	queue, err := pstruct.NewQueue(e.pool, int64(e.numRules))
-	if err != nil {
-		return err
-	}
-	e.meta(0).setWeight(1)
-	if err := queue.Push(0); err != nil {
-		return err
-	}
-	for queue.Len() > 0 {
-		r, err := queue.Pop()
-		if err != nil {
-			return err
-		}
-		w := e.meta(r).weight()
-		propagate := func(sub uint32, freq uint64) error {
-			sm := e.meta(sub)
-			sm.setWeight(sm.weight() + w*freq)
-			left := sm.scratch() - freq
-			sm.setScratch(left)
-			if left == 0 {
-				return queue.Push(sub)
-			}
-			return nil
-		}
-		if e.opts.NoPruning {
-			for _, s := range e.readRawBody(r) {
-				if s.IsRule() {
-					if err := propagate(s.RuleIndex(), 1); err != nil {
-						return err
-					}
-				}
-			}
-			continue
-		}
-		subs, _ := e.readBodyPairs(r)
-		for _, p := range subs {
-			if err := propagate(p.id, uint64(p.freq)); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
 // addWeightedLocals merges every rule's local-window table, scaled by the
-// rule weights left in the metadata by computeWeights, into counter.
-func (e *Engine) addWeightedLocals(counter counterTable, off int64, weightOf func(r uint32) uint64) error {
+// rule weights supplied by weightOf (corpus-wide weights after a top-down
+// pass, or per-file weights captured during a per-file sweep), into counter.
+func (x *exec) addWeightedLocals(counter *kcounter, weightOf func(r uint32) uint64) error {
+	e := x.e
 	for r := uint32(1); r < e.numRules; r++ {
 		w := weightOf(r)
 		if w == 0 {
@@ -247,13 +200,13 @@ func (e *Engine) addWeightedLocals(counter counterTable, off int64, weightOf fun
 		}
 		var addErr error
 		tbl.Range(func(k, v uint64) bool {
-			addErr = e.addCount(counter, off, k, v*w)
+			addErr = x.add(counter, k, v*w)
 			return addErr == nil
 		})
 		if addErr != nil {
 			return addErr
 		}
-		if err := e.opCommit(); err != nil {
+		if err := x.commit(); err != nil {
 			return err
 		}
 	}
@@ -262,170 +215,22 @@ func (e *Engine) addWeightedLocals(counter counterTable, off int64, weightOf fun
 
 // addSpanningToCounter counts the boundary-spanning windows of a top-level
 // symbol sequence into counter via the DRAM sequence dictionary.
-func (e *Engine) addSpanningToCounter(syms []cfg.Symbol, counter counterTable, off int64) error {
+func (x *exec) addSpanningToCounter(syms []cfg.Symbol, counter *kcounter) error {
 	var emitErr error
-	e.spanningWindowsPool(syms, func(q analytics.Seq) {
+	x.spanningWindowsPool(syms, func(q analytics.Seq) {
 		if emitErr != nil {
 			return
 		}
-		e.meter.Charge(1, metrics.CostSeqOp) // DRAM intern lookup
-		id, ok := e.seqIDs[q]
+		x.meter.Charge(1, metrics.CostSeqOp) // DRAM intern lookup
+		id, ok := x.e.seqIDs[q]
 		if !ok {
 			emitErr = errEngine("sequence traversal", ErrNoSequences)
 			return
 		}
-		emitErr = e.addCount(counter, off, uint64(id), 1)
+		emitErr = x.add(counter, uint64(id), 1)
 	})
 	if emitErr != nil {
 		return emitErr
 	}
-	return e.opCommit()
-}
-
-// SequenceCount implements analytics.Engine via weighted local windows:
-// every window of the corpus belongs to exactly one rule body (or to the
-// root's top level), so global counts are the root's spanning windows plus
-// each rule's local table scaled by its weight.
-func (e *Engine) SequenceCount() (map[analytics.Seq]uint64, error) {
-	if !e.seqEnabled {
-		return nil, ErrNoSequences
-	}
-	span, err := e.beginTraversal()
-	if err != nil {
-		return nil, errEngine("sequence count", err)
-	}
-	root := e.readRoot()
-	counter, off, err := e.newCounter(e.seqBound(root), int64(len(e.seqList)))
-	if err != nil {
-		return nil, errEngine("sequence count", err)
-	}
-	if err := e.computeWeights(); err != nil {
-		return nil, errEngine("sequence count", err)
-	}
-	if err := e.addWeightedLocals(counter, off, func(r uint32) uint64 {
-		return e.meta(r).weight()
-	}); err != nil {
-		return nil, errEngine("sequence count", err)
-	}
-	if err := e.addSpanningToCounter(root, counter, off); err != nil {
-		return nil, err
-	}
-	e.meter.Charge(counter.Len(), metrics.CostHashOp)
-	out := make(map[analytics.Seq]uint64, counter.Len())
-	counter.Range(func(k, v uint64) bool {
-		out[e.seqList[uint32(k)]] = v
-		return true
-	})
-	if err := e.endTraversal(span, analytics.SequenceCount, off); err != nil {
-		return nil, errEngine("sequence count", err)
-	}
-	return out, nil
-}
-
-// RankedInvertedIndex implements analytics.Engine.  Per-file counts use the
-// strategy split of §VI-E: top-down computes per-file rule weights and
-// scales local-window tables (efficient for few files); bottom-up merges
-// the cumulative per-rule tables stored at initialization along each file's
-// top level (efficient for many files).
-func (e *Engine) RankedInvertedIndex() (map[analytics.Seq][]analytics.DocFreq, error) {
-	if !e.seqEnabled {
-		return nil, ErrNoSequences
-	}
-	span, err := e.beginTraversal()
-	if err != nil {
-		return nil, errEngine("ranked inverted index", err)
-	}
-	root := e.readRoot()
-	// Documents are collected in ascending order and each (sequence, doc)
-	// pair is produced exactly once, so postings can be appended directly in
-	// their final pre-sort order.  Counter keys are indexes into seqList
-	// (whose entries are distinct), so the accumulator is a plain slice —
-	// no map operations on the per-entry path.
-	perDoc := make([][]analytics.DocFreq, len(e.seqList))
-	collect := func(doc uint32, counter counterTable) {
-		e.meter.Charge(counter.Len(), metrics.CostHashOp)
-		counter.Range(func(k, v uint64) bool {
-			perDoc[uint32(k)] = append(perDoc[uint32(k)], analytics.DocFreq{Doc: doc, Freq: v})
-			return true
-		})
-	}
-
-	switch e.resolveStrategy() {
-	case BottomUp:
-		for doc, seg := range segmentsOf(root) {
-			counter, off, err := e.newCounter(e.seqBound(seg), int64(len(e.seqList)))
-			if err != nil {
-				return nil, errEngine("ranked inverted index", err)
-			}
-			if err := e.addSegmentSeqCounts(seg, counter, off); err != nil {
-				return nil, err
-			}
-			collect(uint32(doc), counter)
-		}
-	default:
-		// Per-file top-down: seed weights from the segment, sweep the
-		// topological order, then scale local tables.
-		topo := e.readTopo()
-		for r := uint32(0); r < e.numRules; r++ {
-			e.meta(r).setWeight(0)
-		}
-		for doc, seg := range segmentsOf(root) {
-			counter, off, err := e.newCounter(e.seqBound(seg), int64(len(e.seqList)))
-			if err != nil {
-				return nil, errEngine("ranked inverted index", err)
-			}
-			for _, s := range seg {
-				if s.IsRule() {
-					m := e.meta(s.RuleIndex())
-					m.setWeight(m.weight() + 1)
-				}
-			}
-			fileWeight := make([]uint64, e.numRules)
-			for _, r := range topo {
-				m := e.meta(r)
-				w := m.weight()
-				if w == 0 {
-					continue
-				}
-				m.setWeight(0)
-				fileWeight[r] = w
-				if e.opts.NoPruning {
-					for _, s := range e.readRawBody(r) {
-						if s.IsRule() {
-							sm := e.meta(s.RuleIndex())
-							sm.setWeight(sm.weight() + w)
-						}
-					}
-					continue
-				}
-				subs, _ := e.readBodyPairs(r)
-				for _, p := range subs {
-					sm := e.meta(p.id)
-					sm.setWeight(sm.weight() + w*uint64(p.freq))
-				}
-			}
-			if err := e.addWeightedLocals(counter, off, func(r uint32) uint64 {
-				return fileWeight[r]
-			}); err != nil {
-				return nil, errEngine("ranked inverted index", err)
-			}
-			if err := e.addSpanningToCounter(seg, counter, off); err != nil {
-				return nil, err
-			}
-			collect(uint32(doc), counter)
-		}
-	}
-
-	out := make(map[analytics.Seq][]analytics.DocFreq, len(perDoc))
-	for k, postings := range perDoc {
-		if len(postings) == 0 {
-			continue
-		}
-		e.meter.Charge(int64(len(postings)), metrics.CostSortEntry)
-		out[e.seqList[k]] = analytics.RankPostingsSorted(postings)
-	}
-	if err := e.endTraversal(span, analytics.RankedInvertedIndex, 0); err != nil {
-		return nil, errEngine("ranked inverted index", err)
-	}
-	return out, nil
+	return x.commit()
 }

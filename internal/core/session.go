@@ -1,0 +1,69 @@
+package core
+
+import (
+	"github.com/text-analytics/ntadoc/internal/analytics"
+	"github.com/text-analytics/ntadoc/internal/metrics"
+)
+
+// Session is a read-only query context over an engine's pool: it runs
+// analytics ops through the same operation kernel as the engine's task
+// methods, but keeps every piece of traversal state — rule weights, the
+// Kahn queue, result counters — in session-local DRAM, so it never mutates
+// the pool.  Multiple sessions may query one engine concurrently from
+// different goroutines.
+//
+// Sessions model the post-load query phase: they must not run concurrently
+// with engine task methods or Close (those mutate traversal scratch in the
+// pool), only with each other.  Opening the first session switches the
+// simulated device into shared mode, which serializes its bookkeeping;
+// device statistics then aggregate the traffic of all sessions.
+type Session struct {
+	e     *Engine
+	meter metrics.Meter
+	run   exec
+}
+
+// NewSession opens a query session over the engine's current pool contents.
+func (e *Engine) NewSession() *Session {
+	s := &Session{e: e}
+	s.run = exec{e: e, meter: &s.meter, sess: &sessionState{
+		weights:   make([]uint64, e.numRules),
+		remaining: make([]uint64, e.numRules),
+	}}
+	e.dev.Share()
+	return s
+}
+
+// RunOps implements analytics.Executor: the batch executes in one fused
+// traversal against session-local state.
+func (s *Session) RunOps(ops []analytics.Op) ([]any, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	for _, op := range ops {
+		if op.Keys() == analytics.KeySequences && !s.e.seqEnabled {
+			return nil, ErrNoSequences
+		}
+	}
+	results, _, err := s.run.runPlan(ops)
+	if err != nil {
+		return nil, errEngine("session", err)
+	}
+	return results, nil
+}
+
+// RunOp implements analytics.Executor.
+func (s *Session) RunOp(op analytics.Op) (any, error) {
+	results, err := s.RunOps([]analytics.Op{op})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+// Meter reports the modeled CPU cost of the work this session has run.
+func (s *Session) Meter() *metrics.Meter {
+	return &s.meter
+}
+
+var _ analytics.Executor = (*Session)(nil)

@@ -6,8 +6,13 @@ import (
 	"github.com/text-analytics/ntadoc/internal/analytics"
 	"github.com/text-analytics/ntadoc/internal/cfg"
 	"github.com/text-analytics/ntadoc/internal/metrics"
-	"github.com/text-analytics/ntadoc/internal/pstruct"
 )
+
+// Generic traversal machinery.  The per-task logic lives in
+// internal/analytics as Op folds; this file owns the traversal phase
+// lifecycle, the persistent counter protocol, the pool read helpers, and the
+// two word-keyed DAG walks (top-down global, per-file in both strategies)
+// that the kernel (kernel.go) drives.
 
 // beginTraversal opens the graph-traversal phase: traversal-phase scratch
 // from any previous task is released (its checkpointed results are
@@ -123,7 +128,8 @@ func (e *Engine) opCommit() error {
 // readBodyPairs reads a pruned body: subCount subrule pairs then wordCount
 // word pairs, decoding the compact frequency-follows encoding after one
 // bulk device read (length prefix, then the pair stream).
-func (e *Engine) readBodyPairs(r uint32) (subs, words []pair) {
+func (x *exec) readBodyPairs(r uint32) (subs, words []pair) {
+	e := x.e
 	m := e.meta(r)
 	ns, nw := int64(m.subCount()), int64(m.wordCount())
 	if ns+nw == 0 {
@@ -132,20 +138,20 @@ func (e *Engine) readBodyPairs(r uint32) (subs, words []pair) {
 	bodyOff := m.bodyOff()
 	hdr := e.pool.AccessorAt(bodyOff, 4)
 	n := int64(hdr.Uint32(0))
-	if int64(cap(e.bodyFlat)) < n {
-		e.bodyFlat = make([]uint32, n)
+	if int64(cap(x.bodyFlat)) < n {
+		x.bodyFlat = make([]uint32, n)
 	}
-	flat := e.bodyFlat[:n]
+	flat := x.bodyFlat[:n]
 	e.pool.AccessorAt(bodyOff+4, n*4).Uint32s(0, flat)
-	e.meter.Charge(ns+nw, metrics.CostScanToken)
-	if int64(cap(e.bodySubs)) < ns {
-		e.bodySubs = make([]pair, ns)
+	x.meter.Charge(ns+nw, metrics.CostScanToken)
+	if int64(cap(x.bodySubs)) < ns {
+		x.bodySubs = make([]pair, ns)
 	}
-	if int64(cap(e.bodyWords)) < nw {
-		e.bodyWords = make([]pair, nw)
+	if int64(cap(x.bodyWords)) < nw {
+		x.bodyWords = make([]pair, nw)
 	}
-	subs = e.bodySubs[:ns]
-	words = e.bodyWords[:nw]
+	subs = x.bodySubs[:ns]
+	words = x.bodyWords[:nw]
 	pos := 0
 	for i := int64(0); i < ns+nw; i++ {
 		id := flat[pos]
@@ -166,22 +172,23 @@ func (e *Engine) readBodyPairs(r uint32) (subs, words []pair) {
 }
 
 // readRawBody reads an untrimmed body (NoPruning ablation).
-func (e *Engine) readRawBody(r uint32) []cfg.Symbol {
+func (x *exec) readRawBody(r uint32) []cfg.Symbol {
+	e := x.e
 	m := e.meta(r)
 	n := int64(m.subCount())
 	if n == 0 {
 		return nil
 	}
-	if int64(cap(e.bodyFlat)) < n {
-		e.bodyFlat = make([]uint32, n)
+	if int64(cap(x.bodyFlat)) < n {
+		x.bodyFlat = make([]uint32, n)
 	}
-	flat := e.bodyFlat[:n]
+	flat := x.bodyFlat[:n]
 	e.pool.AccessorAt(m.bodyOff(), n*4).Uint32s(0, flat)
-	e.meter.Charge(n, metrics.CostScanToken)
-	if int64(cap(e.rawSyms)) < n {
-		e.rawSyms = make([]cfg.Symbol, n)
+	x.meter.Charge(n, metrics.CostScanToken)
+	if int64(cap(x.rawSyms)) < n {
+		x.rawSyms = make([]cfg.Symbol, n)
 	}
-	out := e.rawSyms[:n]
+	out := x.rawSyms[:n]
 	for i, v := range flat {
 		out[i] = cfg.Symbol(v)
 	}
@@ -189,8 +196,9 @@ func (e *Engine) readRawBody(r uint32) []cfg.Symbol {
 }
 
 // readRoot reads the ordered root body.
-func (e *Engine) readRoot() []cfg.Symbol {
-	e.meter.Charge(e.rootLen, metrics.CostScanToken)
+func (x *exec) readRoot() []cfg.Symbol {
+	e := x.e
+	x.meter.Charge(e.rootLen, metrics.CostScanToken)
 	out := make([]cfg.Symbol, e.rootLen)
 	flat := make([]uint32, e.rootLen)
 	e.rootAcc.Uint32s(8, flat)
@@ -201,9 +209,9 @@ func (e *Engine) readRoot() []cfg.Symbol {
 }
 
 // readTopo reads the topological order.
-func (e *Engine) readTopo() []uint32 {
-	out := make([]uint32, e.numRules)
-	e.topoAcc.Uint32s(0, out)
+func (x *exec) readTopo() []uint32 {
+	out := make([]uint32, x.e.numRules)
+	x.e.topoAcc.Uint32s(0, out)
 	return out
 }
 
@@ -219,146 +227,95 @@ func (e *Engine) globalBound() int64 {
 	return b
 }
 
-// WordCount implements analytics.Engine.
-func (e *Engine) WordCount() (map[uint32]uint64, error) {
-	counts, _, err := e.wordCountTable()
-	if err != nil {
-		return nil, err
-	}
-	return counts, nil
-}
-
-func (e *Engine) wordCountTable() (map[uint32]uint64, *metrics.Span, error) {
-	span, err := e.beginTraversal()
-	if err != nil {
-		return nil, nil, errEngine("word count", err)
-	}
-	counter, off, err := e.newCounter(e.globalBound(), int64(e.numWords))
-	if err != nil {
-		return nil, nil, errEngine("word count", err)
-	}
-	if err := e.topDownGlobal(counter, off); err != nil {
-		return nil, nil, errEngine("word count", err)
-	}
-	e.meter.Charge(counter.Len(), metrics.CostHashOp)
-	out := make(map[uint32]uint64, counter.Len())
-	counter.Range(func(k, v uint64) bool { out[uint32(k)] = v; return true })
-	if err := e.endTraversal(span, analytics.WordCount, off); err != nil {
-		return nil, nil, errEngine("word count", err)
-	}
-	return out, span, nil
-}
-
-// topDownGlobal propagates rule weights root-down in topological order,
-// using the pool traversal queue (§IV-B, Figure 3), and accumulates
-// weight x frequency for every word into counter.
-func (e *Engine) topDownGlobal(counter counterTable, counterOff int64) error {
+// topDownPass propagates rule weights root-down in topological order, using
+// the traversal queue (§IV-B, Figure 3).  When emit is non-nil, every word
+// occurrence is delivered as weight x frequency from the same body reads —
+// word-keyed global ops ride along with the weight propagation for free.
+// When emit is nil the pass is weight-only (the sequence decomposition's
+// prerequisite); no counter is touched, so the per-rule commits are no-ops.
+func (x *exec) topDownPass(emit func(word uint32, count uint64) error) error {
+	e := x.e
 	// Reset weight slots and set the remaining-parents scratch.
 	for r := uint32(0); r < e.numRules; r++ {
-		m := e.meta(r)
-		m.setWeight(0)
-		m.setScratch(uint64(m.inDeg()))
+		x.setWeight(r, 0)
+		x.setRemaining(r, uint64(e.meta(r).inDeg()))
 	}
-	queue, err := pstruct.NewQueue(e.pool, int64(e.numRules))
+	queue, err := x.newQueue(int64(e.numRules))
 	if err != nil {
 		return err
 	}
-	root := e.meta(0)
-	root.setWeight(1)
-	if err := queue.Push(0); err != nil {
+	x.setWeight(0, 1)
+	if err := queue.push(0); err != nil {
 		return err
 	}
-	for queue.Len() > 0 {
-		r, err := queue.Pop()
+	for queue.len() > 0 {
+		r, err := queue.pop()
 		if err != nil {
 			return err
 		}
-		m := e.meta(r)
-		w := m.weight()
+		w := x.weight(r)
+		bump := func(sub uint32, freq uint64) error {
+			x.setWeight(sub, x.weight(sub)+w*freq)
+			left := x.remaining(sub) - freq
+			x.setRemaining(sub, left)
+			if left == 0 {
+				return queue.push(sub)
+			}
+			return nil
+		}
 		if e.opts.NoPruning {
-			for _, s := range e.readRawBody(r) {
+			for _, s := range x.readRawBody(r) {
 				switch {
 				case s.IsWord():
-					if err := e.addCount(counter, counterOff, uint64(s.WordID()), w); err != nil {
-						return err
-					}
-				case s.IsRule():
-					sm := e.meta(s.RuleIndex())
-					sm.setWeight(sm.weight() + w)
-					left := sm.scratch() - 1
-					sm.setScratch(left)
-					if left == 0 {
-						if err := queue.Push(s.RuleIndex()); err != nil {
+					if emit != nil {
+						if err := emit(s.WordID(), w); err != nil {
 							return err
 						}
 					}
+				case s.IsRule():
+					if err := bump(s.RuleIndex(), 1); err != nil {
+						return err
+					}
 				}
 			}
-			if err := e.opCommit(); err != nil {
+			if err := x.commit(); err != nil {
 				return err
 			}
 			continue
 		}
-		subs, words := e.readBodyPairs(r)
+		subs, words := x.readBodyPairs(r)
 		for _, p := range subs {
-			sm := e.meta(p.id)
-			sm.setWeight(sm.weight() + w*uint64(p.freq))
-			left := sm.scratch() - uint64(p.freq)
-			sm.setScratch(left)
-			if left == 0 {
-				if err := queue.Push(p.id); err != nil {
+			if err := bump(p.id, uint64(p.freq)); err != nil {
+				return err
+			}
+		}
+		if emit != nil {
+			for _, p := range words {
+				if err := emit(p.id, w*uint64(p.freq)); err != nil {
 					return err
 				}
 			}
 		}
-		for _, p := range words {
-			if err := e.addCount(counter, counterOff, uint64(p.id), w*uint64(p.freq)); err != nil {
-				return err
-			}
-		}
-		if err := e.opCommit(); err != nil {
+		if err := x.commit(); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// Sort implements analytics.Engine.
-func (e *Engine) Sort() ([]analytics.WordFreq, error) {
-	span, err := e.beginTraversal()
-	if err != nil {
-		return nil, errEngine("sort", err)
-	}
-	counter, off, err := e.newCounter(e.globalBound(), int64(e.numWords))
-	if err != nil {
-		return nil, errEngine("sort", err)
-	}
-	if err := e.topDownGlobal(counter, off); err != nil {
-		return nil, errEngine("sort", err)
-	}
-	out := make([]analytics.WordFreq, 0, counter.Len())
-	counter.Range(func(k, v uint64) bool {
-		out = append(out, analytics.WordFreq{Word: uint32(k), Freq: v})
-		return true
+// topDownGlobal runs the top-down pass accumulating weight x frequency for
+// every word into counter (the historical single-counter entry point, kept
+// for the crash-consistency tests that drive traversals by hand).
+func (e *Engine) topDownGlobal(counter counterTable, counterOff int64) error {
+	return e.run.topDownPass(func(w uint32, count uint64) error {
+		return e.addCount(counter, counterOff, uint64(w), count)
 	})
-	e.meter.Charge(int64(len(out)), metrics.CostHashOp+metrics.CostSortEntry)
-	analytics.SortAlphabetical(out, e.d)
-	if err := e.endTraversal(span, analytics.Sort, off); err != nil {
-		return nil, errEngine("sort", err)
-	}
-	return out, nil
 }
 
-// fileWordCounts computes per-file frequencies with the configured
-// traversal strategy, invoking fn with each file's counter before its
-// scratch is released.
-func (e *Engine) fileWordCounts(fn func(doc uint32, counts counterTable)) error {
-	switch e.resolveStrategy() {
-	case BottomUp:
-		return e.fileCountsBottomUp(fn)
-	default:
-		return e.fileCountsTopDown(fn)
-	}
+// computeWeights runs the weight-only top-down pass, leaving each rule's
+// corpus-wide weight in its metadata slot (or session array).
+func (e *Engine) computeWeights() error {
+	return e.run.topDownPass(nil)
 }
 
 // segmentsOf splits the pool root body at separators.
@@ -391,32 +348,98 @@ func (e *Engine) segBound(seg []cfg.Symbol) int64 {
 	return tableBound(bound, length, e.numWords)
 }
 
-// fileCountsBottomUp materializes every rule's word list in a bounded pool
-// table (reverse topological order), then merges top-level lists per file:
-// the fast path for many-file corpora.
-func (e *Engine) fileCountsBottomUp(fn func(doc uint32, counts counterTable)) error {
-	topo := e.readTopo()
-	lists := make([]counterTable, e.numRules)
-	listOffs := make([]int64, e.numRules)
-	for i := len(topo) - 1; i >= 0; i-- {
-		r := topo[i]
-		m := e.meta(r)
-		tbl, off, err := e.newCounter(tableBound(m.bound(), m.expLen(), e.numWords), int64(e.numWords))
-		if err != nil {
-			return err
+// perFilePass computes per-file counters with the configured traversal
+// strategy, invoking fn with each file's word and/or sequence counter before
+// its scratch is released.  A fused batch requesting both key spaces walks
+// the root once and shares each file's body reads between them.
+func (x *exec) perFilePass(words, seqs bool, fn func(doc uint32, wordC, seqC *kcounter) error) error {
+	switch x.e.resolveStrategy() {
+	case BottomUp:
+		return x.perFileBottomUp(words, seqs, fn)
+	default:
+		return x.perFileTopDown(words, seqs, fn)
+	}
+}
+
+// perFileBottomUp materializes every rule's word list in a bounded table
+// (reverse topological order), then merges top-level lists per file — the
+// fast path for many-file corpora.  Sequence counters reuse the per-rule
+// n-gram tables stored at initialization (§IV-D), so no word lists are
+// built unless a word-keyed op asked for them.
+func (x *exec) perFileBottomUp(words, seqs bool, fn func(doc uint32, wordC, seqC *kcounter) error) error {
+	e := x.e
+	var lists []*kcounter
+	if words {
+		topo := x.readTopo()
+		lists = make([]*kcounter, e.numRules)
+		for i := len(topo) - 1; i >= 0; i-- {
+			r := topo[i]
+			m := e.meta(r)
+			tbl, err := x.newKCounter(tableBound(m.bound(), m.expLen(), e.numWords), int64(e.numWords))
+			if err != nil {
+				return err
+			}
+			lists[r] = tbl
+			if e.opts.NoPruning {
+				for _, s := range x.readRawBody(r) {
+					switch {
+					case s.IsWord():
+						if err := x.add(tbl, uint64(s.WordID()), 1); err != nil {
+							return err
+						}
+					case s.IsRule():
+						var mergeErr error
+						lists[s.RuleIndex()].Range(func(k, v uint64) bool {
+							mergeErr = x.add(tbl, k, v)
+							return mergeErr == nil
+						})
+						if mergeErr != nil {
+							return mergeErr
+						}
+					}
+				}
+				continue
+			}
+			subs, ws := x.readBodyPairs(r)
+			for _, p := range ws {
+				if err := x.add(tbl, uint64(p.id), uint64(p.freq)); err != nil {
+					return err
+				}
+			}
+			for _, p := range subs {
+				f := uint64(p.freq)
+				var mergeErr error
+				lists[p.id].Range(func(k, v uint64) bool {
+					mergeErr = x.add(tbl, k, v*f)
+					return mergeErr == nil
+				})
+				if mergeErr != nil {
+					return mergeErr
+				}
+			}
+			if err := x.commit(); err != nil {
+				return err
+			}
 		}
-		lists[r], listOffs[r] = tbl, off
-		if e.opts.NoPruning {
-			for _, s := range e.readRawBody(r) {
+	}
+	root := x.readRoot()
+	for doc, seg := range segmentsOf(root) {
+		var wc, sc *kcounter
+		if words {
+			var err error
+			if wc, err = x.newKCounter(e.segBound(seg), int64(e.numWords)); err != nil {
+				return err
+			}
+			for _, s := range seg {
 				switch {
 				case s.IsWord():
-					if err := e.addCount(tbl, off, uint64(s.WordID()), 1); err != nil {
+					if err := x.add(wc, uint64(s.WordID()), 1); err != nil {
 						return err
 					}
 				case s.IsRule():
 					var mergeErr error
 					lists[s.RuleIndex()].Range(func(k, v uint64) bool {
-						mergeErr = e.addCount(tbl, off, k, v)
+						mergeErr = x.add(wc, k, v)
 						return mergeErr == nil
 					})
 					if mergeErr != nil {
@@ -424,171 +447,124 @@ func (e *Engine) fileCountsBottomUp(fn func(doc uint32, counts counterTable)) er
 					}
 				}
 			}
-			continue
-		}
-		subs, words := e.readBodyPairs(r)
-		for _, p := range words {
-			if err := e.addCount(tbl, off, uint64(p.id), uint64(p.freq)); err != nil {
+			if err := x.commit(); err != nil {
 				return err
 			}
 		}
-		for _, p := range subs {
-			f := uint64(p.freq)
-			var mergeErr error
-			lists[p.id].Range(func(k, v uint64) bool {
-				mergeErr = e.addCount(tbl, off, k, v*f)
-				return mergeErr == nil
-			})
-			if mergeErr != nil {
-				return mergeErr
+		if seqs {
+			var err error
+			if sc, err = x.newKCounter(x.seqBound(seg), int64(len(e.seqList))); err != nil {
+				return err
+			}
+			if err := x.addSegmentSeqCounts(seg, sc); err != nil {
+				return err
 			}
 		}
-		if err := e.opCommit(); err != nil {
+		if err := fn(uint32(doc), wc, sc); err != nil {
 			return err
 		}
-	}
-	root := e.readRoot()
-	for doc, seg := range segmentsOf(root) {
-		counter, off, err := e.newCounter(e.segBound(seg), int64(e.numWords))
-		if err != nil {
-			return err
-		}
-		for _, s := range seg {
-			switch {
-			case s.IsWord():
-				if err := e.addCount(counter, off, uint64(s.WordID()), 1); err != nil {
-					return err
-				}
-			case s.IsRule():
-				var mergeErr error
-				lists[s.RuleIndex()].Range(func(k, v uint64) bool {
-					mergeErr = e.addCount(counter, off, k, v)
-					return mergeErr == nil
-				})
-				if mergeErr != nil {
-					return mergeErr
-				}
-			}
-		}
-		if err := e.opCommit(); err != nil {
-			return err
-		}
-		fn(uint32(doc), counter)
 	}
 	return nil
 }
 
-// fileCountsTopDown traverses the whole DAG once per file: weights of the
+// perFileTopDown traverses the whole DAG once per file: weights of the
 // file's top-level rules propagate down the full topological order.  Cost
-// is O(files x rules) even for tiny files — the §VI-E slow path.
-func (e *Engine) fileCountsTopDown(fn func(doc uint32, counts counterTable)) error {
-	topo := e.readTopo()
+// is O(files x rules) even for tiny files — the §VI-E slow path.  When both
+// key spaces are requested, one sweep per file feeds the word counter and
+// captures the per-file rule weights that scale the local-window tables.
+func (x *exec) perFileTopDown(words, seqs bool, fn func(doc uint32, wordC, seqC *kcounter) error) error {
+	e := x.e
+	topo := x.readTopo()
 	// Zero all weight slots once; the sweep per file below re-zeroes as it
 	// consumes them.
 	for r := uint32(0); r < e.numRules; r++ {
-		e.meta(r).setWeight(0)
+		x.setWeight(r, 0)
 	}
-	root := e.readRoot()
+	root := x.readRoot()
+	var fileWeight []uint64
+	if seqs {
+		fileWeight = make([]uint64, e.numRules)
+	}
 	for doc, seg := range segmentsOf(root) {
-		counter, off, err := e.newCounter(e.segBound(seg), int64(e.numWords))
-		if err != nil {
-			return err
+		var wc, sc *kcounter
+		var err error
+		if words {
+			if wc, err = x.newKCounter(e.segBound(seg), int64(e.numWords)); err != nil {
+				return err
+			}
+		}
+		if seqs {
+			if sc, err = x.newKCounter(x.seqBound(seg), int64(len(e.seqList))); err != nil {
+				return err
+			}
 		}
 		for _, s := range seg {
 			switch {
 			case s.IsWord():
-				if err := e.addCount(counter, off, uint64(s.WordID()), 1); err != nil {
-					return err
+				if words {
+					if err := x.add(wc, uint64(s.WordID()), 1); err != nil {
+						return err
+					}
 				}
 			case s.IsRule():
-				m := e.meta(s.RuleIndex())
-				m.setWeight(m.weight() + 1)
+				x.setWeight(s.RuleIndex(), x.weight(s.RuleIndex())+1)
 			}
 		}
+		if seqs {
+			clear(fileWeight)
+		}
 		for _, r := range topo {
-			m := e.meta(r)
-			w := m.weight()
+			w := x.weight(r)
 			if w == 0 {
 				continue
 			}
-			m.setWeight(0)
+			x.setWeight(r, 0)
+			if seqs {
+				fileWeight[r] = w
+			}
 			if e.opts.NoPruning {
-				for _, s := range e.readRawBody(r) {
+				for _, s := range x.readRawBody(r) {
 					switch {
 					case s.IsWord():
-						if err := e.addCount(counter, off, uint64(s.WordID()), w); err != nil {
-							return err
+						if words {
+							if err := x.add(wc, uint64(s.WordID()), w); err != nil {
+								return err
+							}
 						}
 					case s.IsRule():
-						sm := e.meta(s.RuleIndex())
-						sm.setWeight(sm.weight() + w)
+						x.setWeight(s.RuleIndex(), x.weight(s.RuleIndex())+w)
 					}
 				}
 				continue
 			}
-			subs, words := e.readBodyPairs(r)
+			subs, ws := x.readBodyPairs(r)
 			for _, p := range subs {
-				sm := e.meta(p.id)
-				sm.setWeight(sm.weight() + w*uint64(p.freq))
+				x.setWeight(p.id, x.weight(p.id)+w*uint64(p.freq))
 			}
-			for _, p := range words {
-				if err := e.addCount(counter, off, uint64(p.id), w*uint64(p.freq)); err != nil {
-					return err
+			if words {
+				for _, p := range ws {
+					if err := x.add(wc, uint64(p.id), w*uint64(p.freq)); err != nil {
+						return err
+					}
 				}
 			}
 		}
-		if err := e.opCommit(); err != nil {
+		if words {
+			if err := x.commit(); err != nil {
+				return err
+			}
+		}
+		if seqs {
+			if err := x.addWeightedLocals(sc, func(r uint32) uint64 { return fileWeight[r] }); err != nil {
+				return err
+			}
+			if err := x.addSpanningToCounter(seg, sc); err != nil {
+				return err
+			}
+		}
+		if err := fn(uint32(doc), wc, sc); err != nil {
 			return err
 		}
-		fn(uint32(doc), counter)
 	}
 	return nil
-}
-
-// TermVector implements analytics.Engine.
-func (e *Engine) TermVector(k int) ([][]analytics.WordFreq, error) {
-	span, err := e.beginTraversal()
-	if err != nil {
-		return nil, errEngine("term vector", err)
-	}
-	out := make([][]analytics.WordFreq, e.numFiles)
-	err = e.fileWordCounts(func(doc uint32, counter counterTable) {
-		e.meter.Charge(counter.Len(), metrics.CostHashOp+metrics.CostSortEntry)
-		counts := make(map[uint32]uint64, counter.Len())
-		counter.Range(func(key, v uint64) bool { counts[uint32(key)] = v; return true })
-		out[doc] = analytics.TermVectorOf(counts, k)
-	})
-	if err != nil {
-		return nil, errEngine("term vector", err)
-	}
-	if err := e.endTraversal(span, analytics.TermVector, 0); err != nil {
-		return nil, errEngine("term vector", err)
-	}
-	return out, nil
-}
-
-// InvertedIndex implements analytics.Engine.
-func (e *Engine) InvertedIndex() (map[uint32][]uint32, error) {
-	span, err := e.beginTraversal()
-	if err != nil {
-		return nil, errEngine("inverted index", err)
-	}
-	out := make(map[uint32][]uint32)
-	err = e.fileWordCounts(func(doc uint32, counter counterTable) {
-		e.meter.Charge(counter.Len(), metrics.CostHashOp+metrics.CostSortEntry)
-		counter.Range(func(key, _ uint64) bool {
-			out[uint32(key)] = append(out[uint32(key)], doc)
-			return true
-		})
-	})
-	if err != nil {
-		return nil, errEngine("inverted index", err)
-	}
-	for w := range out {
-		slices.Sort(out[w])
-	}
-	if err := e.endTraversal(span, analytics.InvertedIndex, 0); err != nil {
-		return nil, errEngine("inverted index", err)
-	}
-	return out, nil
 }

@@ -309,6 +309,55 @@ func RunTADOC(c *Corpus, task analytics.Task, strategy tadoc.Strategy) (Result, 
 	}, nil
 }
 
+// FusedCell compares a batch of ops run as one fused traversal against the
+// same ops run back-to-back on an identical engine: modeled traversal time
+// and device read traffic (initialization excluded from both sides).
+type FusedCell struct {
+	SeqNanos, FusedNanos time.Duration // modeled traversal time
+	SeqReads, FusedReads int64         // device ReadAt calls
+	SeqBytes, FusedBytes int64         // device bytes read
+}
+
+// RunFusedComparison builds two identical N-TADOC engines over the corpus
+// and runs the ops fused on one and sequentially on the other.
+func RunFusedComparison(c *Corpus, ops []analytics.Op, opts core.Options) (FusedCell, error) {
+	for _, op := range ops {
+		opts.Sequences = opts.Sequences || op.Keys() == analytics.KeySequences
+	}
+	run := func(fused bool) (trav time.Duration, reads, bytes int64, err error) {
+		eng, err := core.New(c.G, c.Dict, opts)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		defer eng.Close()
+		before := eng.Device().Stats()
+		if fused {
+			if _, err := eng.RunOps(ops); err != nil {
+				return 0, 0, 0, err
+			}
+			trav = eng.LastTraversalSpan().Total()
+		} else {
+			for _, op := range ops {
+				if _, err := eng.RunOp(op); err != nil {
+					return 0, 0, 0, err
+				}
+				trav += eng.LastTraversalSpan().Total()
+			}
+		}
+		after := eng.Device().Stats()
+		return trav, after.Reads - before.Reads, after.BytesRead - before.BytesRead, nil
+	}
+	var cell FusedCell
+	var err error
+	if cell.SeqNanos, cell.SeqReads, cell.SeqBytes, err = run(false); err != nil {
+		return FusedCell{}, err
+	}
+	if cell.FusedNanos, cell.FusedReads, cell.FusedBytes, err = run(true); err != nil {
+		return FusedCell{}, err
+	}
+	return cell, nil
+}
+
 // GeoMean returns the geometric mean of positive ratios.
 func GeoMean(ratios []float64) float64 {
 	if len(ratios) == 0 {

@@ -6,6 +6,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // SimDevice is the concrete simulated device behind every Kind.  It keeps the
@@ -38,6 +39,14 @@ type SimDevice struct {
 	store   durableStore
 	closed  bool
 	lastBlk int64 // previously accessed block, for HDD seek modeling
+
+	// shared switches the device into shared mode (see Share): every access
+	// charge and counter update is serialized behind opMu so concurrent
+	// read-only query sessions can use one device.  Off by default, keeping
+	// the single-owner fast paths free of lock traffic.  When both opMu and
+	// mu are taken, opMu is taken first.
+	shared atomic.Bool
+	opMu   sync.Mutex
 
 	// lastGranule memoizes the most recently charged granule.  A granule
 	// that was just accessed sits at the MRU position of its cache set, so a
@@ -276,10 +285,30 @@ func (d *SimDevice) Size() int64 { return int64(len(d.buf)) }
 func (d *SimDevice) Model() CostModel { return d.model }
 
 // Stats implements Device.
-func (d *SimDevice) Stats() Stats { return d.counters.snapshot() }
+func (d *SimDevice) Stats() Stats {
+	if d.shared.Load() {
+		d.opMu.Lock()
+		defer d.opMu.Unlock()
+	}
+	return d.counters.snapshot()
+}
 
 // ResetStats implements Device.
-func (d *SimDevice) ResetStats() { d.counters.reset() }
+func (d *SimDevice) ResetStats() {
+	if d.shared.Load() {
+		d.opMu.Lock()
+		defer d.opMu.Unlock()
+	}
+	d.counters.reset()
+}
+
+// Share switches the device into shared mode, permanently: access charging,
+// counters, and cache-model state become mutex-protected so multiple
+// goroutines may read the device concurrently.  Data races on the *contents*
+// remain the callers' problem — shared mode is meant for concurrent readers
+// over an image that is no longer being written (query sessions).  The
+// modeled figures are unchanged; only host-side locking is added.
+func (d *SimDevice) Share() { d.shared.Store(true) }
 
 // charge walks the granules of [off, off+n) through the device cache and
 // accumulates modeled cost.  missNanos is the per-granule media cost for
@@ -448,6 +477,14 @@ func (d *SimDevice) accessRead(off, n int64) []byte {
 	if n == 0 {
 		return nil
 	}
+	if d.shared.Load() {
+		d.opMu.Lock()
+		d.charge(off, n, d.model.ReadNanos, false)
+		d.reads++
+		d.bytesRead += n
+		d.opMu.Unlock()
+		return d.buf[off : off+n]
+	}
 	d.charge(off, n, d.model.ReadNanos, false)
 	d.reads++
 	d.bytesRead += n
@@ -460,6 +497,10 @@ func (d *SimDevice) accessRead(off, n int64) []byte {
 func (d *SimDevice) accessWrite(off, n int64) []byte {
 	if n == 0 {
 		return nil
+	}
+	if d.shared.Load() {
+		d.opMu.Lock()
+		defer d.opMu.Unlock()
 	}
 	if len(d.pending) != 0 {
 		d.snapshotPending(off, n)
@@ -481,6 +522,10 @@ func (d *SimDevice) ReadAt(p []byte, off int64) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
+	if d.shared.Load() {
+		d.opMu.Lock()
+		defer d.opMu.Unlock()
+	}
 	d.charge(off, int64(len(p)), d.model.ReadNanos, false)
 	d.reads++
 	d.bytesRead += int64(len(p))
@@ -495,6 +540,10 @@ func (d *SimDevice) WriteAt(p []byte, off int64) (int, error) {
 	}
 	if len(p) == 0 {
 		return 0, nil
+	}
+	if d.shared.Load() {
+		d.opMu.Lock()
+		defer d.opMu.Unlock()
 	}
 	if d.failAfterWrites >= 0 {
 		d.failAfterWrites--
@@ -538,6 +587,10 @@ func (d *SimDevice) Flush(off, n int64) error {
 	if err := d.checkRange(off, n); err != nil {
 		return err
 	}
+	if d.shared.Load() {
+		d.opMu.Lock()
+		defer d.opMu.Unlock()
+	}
 	d.flushes++
 	d.flushedBytes += n
 	d.modeledNanos += granules(off, n, d.model.Granule) * d.model.FlushNanos
@@ -580,6 +633,10 @@ func (d *SimDevice) Flush(off, n int64) error {
 // Drain implements Device: retires the whole pending set into the durable
 // image, in flush order, then syncs the backing store.
 func (d *SimDevice) Drain() error {
+	if d.shared.Load() {
+		d.opMu.Lock()
+		defer d.opMu.Unlock()
+	}
 	d.drains++
 	d.modeledNanos += d.model.DrainNanos
 	ev := d.persistEvents

@@ -3,7 +3,9 @@
 // intermediate structure live in ordinary Go memory; analytics are DAG
 // traversals exactly as in the VLDB'18/VLDBJ'21 TADOC papers, with both the
 // top-down (weight propagation) and bottom-up (word-list merging) traversal
-// strategies and the head/tail structures for sequence tasks.
+// strategies and the head/tail structures for sequence tasks.  Tasks plug in
+// as analytics.Op folds; RunOps shares each traversal among every op in a
+// batch that needs it.
 package tadoc
 
 import (
@@ -44,7 +46,8 @@ func (s Strategy) String() string {
 	}
 }
 
-// Engine is the DRAM TADOC engine.  It implements analytics.Engine.
+// Engine is the DRAM TADOC engine.  It implements analytics.Engine and
+// analytics.Executor.
 type Engine struct {
 	g        *cfg.Grammar
 	d        *dict.Dictionary
@@ -58,7 +61,10 @@ type Engine struct {
 	segs    [][]cfg.Symbol
 }
 
-var _ analytics.Engine = (*Engine)(nil)
+var (
+	_ analytics.Engine   = (*Engine)(nil)
+	_ analytics.Executor = (*Engine)(nil)
+)
 
 // New creates an engine over a validated grammar.
 func New(g *cfg.Grammar, d *dict.Dictionary, strategy Strategy) (*Engine, error) {
@@ -147,9 +153,20 @@ func (e *Engine) segments() [][]cfg.Symbol {
 	return e.segs
 }
 
-// WordCount implements analytics.Engine via top-down weight propagation
-// (Figure 1e's worked example).
-func (e *Engine) WordCount() (map[uint32]uint64, error) {
+// opEnv adapts the engine to analytics.Env.
+type opEnv struct {
+	e  *Engine
+	si *analytics.SeqInterner
+}
+
+func (v opEnv) Dict() *dict.Dictionary       { return v.e.d }
+func (v opEnv) NumFiles() int                { return len(v.e.segments()) }
+func (v opEnv) SeqOf(k uint64) analytics.Seq { return v.si.SeqOf(k) }
+func (v opEnv) Charge(n, perOp int64)        { v.e.meter.Charge(n, perOp) }
+
+// globalWordCounts runs the top-down weight propagation (Figure 1e's worked
+// example), the single walk behind every global word-keyed op.
+func (e *Engine) globalWordCounts() (map[uint32]uint64, error) {
 	if err := e.ensureWeights(); err != nil {
 		return nil, err
 	}
@@ -167,21 +184,6 @@ func (e *Engine) WordCount() (map[uint32]uint64, error) {
 			}
 		}
 	}
-	return out, nil
-}
-
-// Sort implements analytics.Engine.
-func (e *Engine) Sort() ([]analytics.WordFreq, error) {
-	counts, err := e.WordCount()
-	if err != nil {
-		return nil, err
-	}
-	out := make([]analytics.WordFreq, 0, len(counts))
-	for w, c := range counts {
-		out = append(out, analytics.WordFreq{Word: w, Freq: c})
-	}
-	e.meter.Charge(int64(len(out)), metrics.CostHashOp+metrics.CostSortEntry)
-	analytics.SortAlphabetical(out, e.d)
 	return out, nil
 }
 
@@ -270,87 +272,139 @@ func (e *Engine) fileWordCountsTopDown() ([]map[uint32]uint64, error) {
 	return out, nil
 }
 
-// TermVector implements analytics.Engine.
-func (e *Engine) TermVector(k int) ([][]analytics.WordFreq, error) {
-	perFile, err := e.fileWordCounts()
+// RunOps implements analytics.Executor: ops sharing a traversal requirement
+// (global word walk, per-file word counts, sequence summaries) are fed from
+// one computation of it.
+func (e *Engine) RunOps(ops []analytics.Op) ([]any, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	env := opEnv{e: e, si: &analytics.SeqInterner{}}
+	folds := make([]analytics.Fold, len(ops))
+	var globalWord, globalSeq, fileWord, fileSeq []int
+	for i, op := range ops {
+		folds[i] = op.NewFold(env)
+		switch {
+		case op.Scope() == analytics.ScopeGlobal && op.Keys() == analytics.KeyWords:
+			globalWord = append(globalWord, i)
+		case op.Scope() == analytics.ScopeGlobal:
+			globalSeq = append(globalSeq, i)
+		case op.Keys() == analytics.KeyWords:
+			fileWord = append(fileWord, i)
+		default:
+			fileSeq = append(fileSeq, i)
+		}
+	}
+
+	if len(globalWord) > 0 {
+		counts, err := e.globalWordCounts()
+		if err != nil {
+			return nil, err
+		}
+		view := analytics.WordMapCounts(counts)
+		for _, i := range globalWord {
+			if err := folds[i].Global(view); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(globalSeq)+len(fileSeq) > 0 {
+		if err := e.ensureInfos(); err != nil {
+			return nil, err
+		}
+	}
+	if len(globalSeq) > 0 {
+		// The root's cumulative sequence summary is the global result.
+		e.meter.Charge(int64(len(e.infos[0].Counts)), metrics.CostSeqOp)
+		view := env.si.Counts(e.infos[0].Counts)
+		for _, i := range globalSeq {
+			if err := folds[i].Global(view); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(fileWord) > 0 {
+		perFile, err := e.fileWordCounts()
+		if err != nil {
+			return nil, err
+		}
+		for doc, counts := range perFile {
+			view := analytics.WordMapCounts(counts)
+			for _, i := range fileWord {
+				if err := folds[i].File(uint32(doc), view); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if len(fileSeq) > 0 {
+		for fi, seg := range e.segments() {
+			segCounts := analytics.SegmentSeqCounts(seg, e.infos)
+			// SegmentSeqCounts merges each top-level rule's count table plus
+			// the spanning-window walk.
+			var mergeOps int64
+			for _, s := range seg {
+				if s.IsRule() {
+					mergeOps += int64(len(e.infos[s.RuleIndex()].Counts))
+				}
+			}
+			e.meter.Charge(mergeOps+int64(len(seg)), metrics.CostMergeEntry)
+			view := env.si.Counts(segCounts)
+			for _, i := range fileSeq {
+				if err := folds[i].File(uint32(fi), view); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	results := make([]any, len(ops))
+	for i := range ops {
+		var err error
+		if results[i], err = folds[i].Finish(); err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// RunOp implements analytics.Executor.
+func (e *Engine) RunOp(op analytics.Op) (any, error) {
+	results, err := e.RunOps([]analytics.Op{op})
 	if err != nil {
 		return nil, err
 	}
-	out := make([][]analytics.WordFreq, len(perFile))
-	for i, counts := range perFile {
-		e.meter.Charge(int64(len(counts)), metrics.CostSortEntry)
-		out[i] = analytics.TermVectorOf(counts, k)
-	}
-	return out, nil
+	return results[0], nil
+}
+
+// WordCount implements analytics.Engine.
+func (e *Engine) WordCount() (map[uint32]uint64, error) {
+	return analytics.RunAs[map[uint32]uint64](e, analytics.WordCountOp{})
+}
+
+// Sort implements analytics.Engine.
+func (e *Engine) Sort() ([]analytics.WordFreq, error) {
+	return analytics.RunAs[[]analytics.WordFreq](e, analytics.SortOp{})
+}
+
+// TermVectors implements analytics.Engine.
+func (e *Engine) TermVectors(k int) ([][]analytics.WordFreq, error) {
+	return analytics.RunAs[[][]analytics.WordFreq](e, analytics.TermVectorsOp{K: k})
 }
 
 // InvertedIndex implements analytics.Engine.
 func (e *Engine) InvertedIndex() (map[uint32][]uint32, error) {
-	perFile, err := e.fileWordCounts()
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[uint32][]uint32)
-	for doc, counts := range perFile {
-		e.meter.Charge(int64(len(counts)), metrics.CostHashOp+metrics.CostSortEntry)
-		for w := range counts {
-			out[w] = append(out[w], uint32(doc))
-		}
-	}
-	for w := range out {
-		sortU32(out[w])
-	}
-	return out, nil
+	return analytics.RunAs[map[uint32][]uint32](e, analytics.InvertedIndexOp{})
 }
 
-// SequenceCount implements analytics.Engine: the root's sequence summary is
-// the global result.
+// SequenceCount implements analytics.Engine.
 func (e *Engine) SequenceCount() (map[analytics.Seq]uint64, error) {
-	if err := e.ensureInfos(); err != nil {
-		return nil, err
-	}
-	// Copy: callers may mutate the result.
-	e.meter.Charge(int64(len(e.infos[0].Counts)), metrics.CostSeqOp)
-	out := make(map[analytics.Seq]uint64, len(e.infos[0].Counts))
-	for q, c := range e.infos[0].Counts {
-		out[q] = c
-	}
-	return out, nil
+	return analytics.RunAs[map[analytics.Seq]uint64](e, analytics.SequenceCountOp{})
 }
 
 // RankedInvertedIndex implements analytics.Engine.
 func (e *Engine) RankedInvertedIndex() (map[analytics.Seq][]analytics.DocFreq, error) {
-	if err := e.ensureInfos(); err != nil {
-		return nil, err
-	}
-	perDoc := make(map[analytics.Seq]map[uint32]uint64)
-	for fi, seg := range e.segments() {
-		segCounts := analytics.SegmentSeqCounts(seg, e.infos)
-		// SegmentSeqCounts merges each top-level rule's count table plus
-		// the spanning-window walk.
-		var mergeOps int64
-		for _, s := range seg {
-			if s.IsRule() {
-				mergeOps += int64(len(e.infos[s.RuleIndex()].Counts))
-			}
-		}
-		e.meter.Charge(mergeOps+int64(len(seg)), metrics.CostMergeEntry)
-		for q, c := range segCounts {
-			e.meter.Charge(1, metrics.CostSeqOp)
-			m := perDoc[q]
-			if m == nil {
-				m = make(map[uint32]uint64)
-				perDoc[q] = m
-			}
-			m[uint32(fi)] += c
-		}
-	}
-	out := make(map[analytics.Seq][]analytics.DocFreq, len(perDoc))
-	for q, m := range perDoc {
-		e.meter.Charge(int64(len(m)), metrics.CostSortEntry)
-		out[q] = analytics.RankPostings(m)
-	}
-	return out, nil
+	return analytics.RunAs[map[analytics.Seq][]analytics.DocFreq](e, analytics.RankedInvertedIndexOp{})
 }
 
 // DRAMBytes estimates the engine's resident DRAM: the grammar plus every

@@ -5,7 +5,6 @@ import (
 	"reflect"
 	"testing"
 
-	"github.com/text-analytics/ntadoc/internal/analytics"
 	"github.com/text-analytics/ntadoc/internal/cfg"
 	"github.com/text-analytics/ntadoc/internal/datagen"
 	"github.com/text-analytics/ntadoc/internal/dict"
@@ -36,62 +35,8 @@ func newEngine(t testing.TB, g *cfg.Grammar, d *dict.Dictionary, s Strategy) *En
 	return e
 }
 
-func TestAllTasksMatchReferenceBothStrategies(t *testing.T) {
-	files, d, g := corpus(t, 11, 5, 400, 60)
-	for _, strat := range []Strategy{TopDown, BottomUp} {
-		t.Run(strat.String(), func(t *testing.T) {
-			e := newEngine(t, g, d, strat)
-
-			wc, err := e.WordCount()
-			if err != nil {
-				t.Fatalf("WordCount: %v", err)
-			}
-			if !reflect.DeepEqual(wc, analytics.RefWordCount(files)) {
-				t.Error("word count mismatch")
-			}
-
-			srt, err := e.Sort()
-			if err != nil {
-				t.Fatalf("Sort: %v", err)
-			}
-			if !reflect.DeepEqual(srt, analytics.RefSort(files, d)) {
-				t.Error("sort mismatch")
-			}
-
-			tv, err := e.TermVector(7)
-			if err != nil {
-				t.Fatalf("TermVector: %v", err)
-			}
-			if !reflect.DeepEqual(tv, analytics.RefTermVector(files, 7)) {
-				t.Error("term vector mismatch")
-			}
-
-			inv, err := e.InvertedIndex()
-			if err != nil {
-				t.Fatalf("InvertedIndex: %v", err)
-			}
-			if !reflect.DeepEqual(inv, analytics.RefInvertedIndex(files)) {
-				t.Error("inverted index mismatch")
-			}
-
-			sc, err := e.SequenceCount()
-			if err != nil {
-				t.Fatalf("SequenceCount: %v", err)
-			}
-			if !reflect.DeepEqual(sc, analytics.RefSequenceCount(files)) {
-				t.Error("sequence count mismatch")
-			}
-
-			rii, err := e.RankedInvertedIndex()
-			if err != nil {
-				t.Fatalf("RankedInvertedIndex: %v", err)
-			}
-			if !reflect.DeepEqual(rii, analytics.RefRankedInvertedIndex(files)) {
-				t.Error("ranked inverted index mismatch")
-			}
-		})
-	}
-}
+// Full per-task reference coverage for both strategies lives in the
+// cross-executor differential test (internal/analytics/differential_test.go).
 
 func TestAutoStrategySelection(t *testing.T) {
 	_, d, gFew := corpus(t, 1, 2, 100, 20)
@@ -121,7 +66,7 @@ func TestDRAMBytesGrowsWithCaching(t *testing.T) {
 		t.Fatalf("base DRAM estimate %d", base)
 	}
 	e.WordCount()
-	e.TermVector(5)
+	e.TermVectors(5)
 	e.SequenceCount()
 	grown := e.DRAMBytes()
 	if grown <= base {

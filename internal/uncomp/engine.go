@@ -3,7 +3,10 @@
 // in the headline comparison).  No compression technique is applied beyond
 // the dictionary conversion, matching the paper's baseline configuration;
 // every task is a sequential scan of the token stream with intermediate
-// results in ordinary DRAM structures.
+// results in ordinary DRAM structures.  Tasks plug in as analytics.Op folds:
+// RunOps makes one pass over the device-resident tokens and feeds every op
+// in the batch from the same scan, so a fused batch reads each token once
+// where sequential runs read it once per task.
 package uncomp
 
 import (
@@ -15,7 +18,8 @@ import (
 	"github.com/text-analytics/ntadoc/internal/nvm"
 )
 
-// Engine scans device-resident tokens.  It implements analytics.Engine.
+// Engine scans device-resident tokens.  It implements analytics.Engine and
+// analytics.Executor.
 type Engine struct {
 	dev   nvm.Device
 	d     *dict.Dictionary
@@ -26,7 +30,10 @@ type Engine struct {
 	scanBuf []uint32 // scanFile scratch, reused across files
 }
 
-var _ analytics.Engine = (*Engine)(nil)
+var (
+	_ analytics.Engine   = (*Engine)(nil)
+	_ analytics.Executor = (*Engine)(nil)
+)
 
 // tokenBytes is the stored width of one token.
 const tokenBytes = 4
@@ -102,102 +109,11 @@ func (e *Engine) scanFile(fi int, fn func(tokens []uint32)) {
 	}
 }
 
-// WordCount implements analytics.Engine.  Counting goes through a
-// vocabulary-sized array rather than a map; the charged hash-op cost per
-// token is unchanged — only host wall-clock differs.
-func (e *Engine) WordCount() (map[uint32]uint64, error) {
-	counts := make([]uint64, e.d.Len())
-	for fi := 0; fi < e.NumFiles(); fi++ {
-		e.scanFile(fi, func(toks []uint32) {
-			e.meter.Charge(int64(len(toks)), metrics.CostScanToken+metrics.CostHashOp)
-			for _, w := range toks {
-				counts[w]++
-			}
-		})
-	}
-	out := make(map[uint32]uint64)
-	for w, c := range counts {
-		if c != 0 {
-			out[uint32(w)] = c
-		}
-	}
-	return out, nil
-}
-
-// Sort implements analytics.Engine.
-func (e *Engine) Sort() ([]analytics.WordFreq, error) {
-	counts, err := e.WordCount()
-	if err != nil {
-		return nil, err
-	}
-	out := make([]analytics.WordFreq, 0, len(counts))
-	for w, c := range counts {
-		out = append(out, analytics.WordFreq{Word: w, Freq: c})
-	}
-	e.meter.Charge(int64(len(out)), metrics.CostHashOp+metrics.CostSortEntry)
-	analytics.SortAlphabetical(out, e.d)
-	return out, nil
-}
-
-// TermVector implements analytics.Engine.  Per-file counts accumulate in a
-// vocabulary-sized array with a touched-word list, reset between files; the
-// charged costs match the map-based formulation exactly.
-func (e *Engine) TermVector(k int) ([][]analytics.WordFreq, error) {
-	out := make([][]analytics.WordFreq, e.NumFiles())
-	counts := make([]uint64, e.d.Len())
-	var touched []uint32
-	for fi := range out {
-		e.scanFile(fi, func(toks []uint32) {
-			e.meter.Charge(int64(len(toks)), metrics.CostScanToken+metrics.CostHashOp)
-			for _, w := range toks {
-				if counts[w] == 0 {
-					touched = append(touched, w)
-				}
-				counts[w]++
-			}
-		})
-		e.meter.Charge(int64(len(touched)), metrics.CostSortEntry)
-		vec := make([]analytics.WordFreq, 0, len(touched))
-		for _, w := range touched {
-			vec = append(vec, analytics.WordFreq{Word: w, Freq: counts[w]})
-			counts[w] = 0
-		}
-		touched = touched[:0]
-		out[fi] = analytics.TermVectorSorted(vec, k)
-	}
-	return out, nil
-}
-
-// InvertedIndex implements analytics.Engine.  First-occurrence tracking uses
-// a vocabulary-sized bitmap with a touched-word list, reset between files.
-func (e *Engine) InvertedIndex() (map[uint32][]uint32, error) {
-	out := make(map[uint32][]uint32)
-	seen := make([]bool, e.d.Len())
-	var touched []uint32
-	for fi := 0; fi < e.NumFiles(); fi++ {
-		e.scanFile(fi, func(toks []uint32) {
-			e.meter.Charge(int64(len(toks)), metrics.CostScanToken+metrics.CostHashOp)
-			for _, w := range toks {
-				if !seen[w] {
-					seen[w] = true
-					touched = append(touched, w)
-					out[w] = append(out[w], uint32(fi))
-				}
-			}
-		})
-		for _, w := range touched {
-			seen[w] = false
-		}
-		touched = touched[:0]
-	}
-	return out, nil
-}
-
-// Sequence-task accumulators key windows by a packed uint64 whenever the
+// Sequence accumulators key windows by a packed uint64 whenever the
 // vocabulary fits packBits per token: Go maps hash 8-byte keys through a
-// fast path that the 12-byte Seq array misses.  Packed and generic paths
-// emit the same windows and charge identically; outputs are converted back
-// to Seq keys at the end.
+// fast path that the 12-byte Seq array misses.  Packed and generic scans
+// emit the same windows and charge identically; env.SeqOf converts keys
+// back at fold time.
 const packBits = 21
 
 func (e *Engine) canPackSeq() bool {
@@ -213,57 +129,6 @@ func unpackSeq(pk uint64) analytics.Seq {
 	}
 }
 
-// scanPackedSequences mirrors scanSequences with packed window keys,
-// maintained by one shift-and-or per token.
-func (e *Engine) scanPackedSequences(fi int, emit func(uint64)) {
-	const mask = 1<<(2*packBits) - 1
-	var pk uint64
-	n := 0
-	e.scanFile(fi, func(toks []uint32) {
-		e.meter.Charge(int64(len(toks)), metrics.CostScanToken)
-		for _, w := range toks {
-			pk = (pk&mask)<<packBits | uint64(w)
-			if n < analytics.SeqLen-1 {
-				n++
-				continue
-			}
-			emit(pk)
-		}
-	})
-}
-
-// SequenceCount implements analytics.Engine.
-func (e *Engine) SequenceCount() (map[analytics.Seq]uint64, error) {
-	if !e.canPackSeq() {
-		return e.sequenceCountGeneric()
-	}
-	counts := make(map[uint64]uint64)
-	for fi := 0; fi < e.NumFiles(); fi++ {
-		e.scanPackedSequences(fi, func(pk uint64) {
-			counts[pk]++
-		})
-		// One charge per file covers every emitted window: Charge is
-		// linear in its op count, so this equals the per-window charges.
-		e.meter.Charge(e.numWindows(fi), metrics.CostSeqOp)
-	}
-	out := make(map[analytics.Seq]uint64, len(counts))
-	for pk, v := range counts {
-		out[unpackSeq(pk)] = v
-	}
-	return out, nil
-}
-
-func (e *Engine) sequenceCountGeneric() (map[analytics.Seq]uint64, error) {
-	out := make(map[analytics.Seq]uint64)
-	for fi := 0; fi < e.NumFiles(); fi++ {
-		e.scanSequences(fi, func(q analytics.Seq) {
-			out[q]++
-		})
-		e.meter.Charge(e.numWindows(fi), metrics.CostSeqOp)
-	}
-	return out, nil
-}
-
 // numWindows returns how many SeqLen-windows file fi emits.
 func (e *Engine) numWindows(fi int) int64 {
 	n := e.offs[fi+1] - e.offs[fi] - analytics.SeqLen + 1
@@ -273,75 +138,254 @@ func (e *Engine) numWindows(fi int) int64 {
 	return n
 }
 
-// RankedInvertedIndex implements analytics.Engine.  Files are scanned in
-// ascending order, so each sequence's postings grow append-only: a window in
-// the current file either bumps the last posting or starts a new one, and no
-// nested per-document map is needed.
-func (e *Engine) RankedInvertedIndex() (map[analytics.Seq][]analytics.DocFreq, error) {
-	if !e.canPackSeq() {
-		return e.rankedInvertedIndexGeneric()
-	}
-	perDoc := make(map[uint64][]analytics.DocFreq)
-	for fi := 0; fi < e.NumFiles(); fi++ {
-		doc := uint32(fi)
-		e.meter.Charge(e.numWindows(fi), metrics.CostSeqOp+metrics.CostHashOp)
-		e.scanPackedSequences(fi, func(pk uint64) {
-			p := perDoc[pk]
-			if n := len(p); n > 0 && p[n-1].Doc == doc {
-				p[n-1].Freq++
-			} else {
-				perDoc[pk] = append(p, analytics.DocFreq{Doc: doc, Freq: 1})
-			}
-		})
-	}
-	out := make(map[analytics.Seq][]analytics.DocFreq, len(perDoc))
-	for pk, postings := range perDoc {
-		e.meter.Charge(int64(len(postings)), metrics.CostSortEntry)
-		out[unpackSeq(pk)] = analytics.RankPostingsSorted(postings)
-	}
-	return out, nil
+// opEnv adapts the engine to analytics.Env.  seqOf is unpackSeq when windows
+// are packed, interner resolution otherwise.
+type opEnv struct {
+	e     *Engine
+	seqOf func(uint64) analytics.Seq
 }
 
-func (e *Engine) rankedInvertedIndexGeneric() (map[analytics.Seq][]analytics.DocFreq, error) {
-	perDoc := make(map[analytics.Seq][]analytics.DocFreq)
-	for fi := 0; fi < e.NumFiles(); fi++ {
-		doc := uint32(fi)
-		e.meter.Charge(e.numWindows(fi), metrics.CostSeqOp+metrics.CostHashOp)
-		e.scanSequences(fi, func(q analytics.Seq) {
-			p := perDoc[q]
-			if n := len(p); n > 0 && p[n-1].Doc == doc {
-				p[n-1].Freq++
-			} else {
-				perDoc[q] = append(p, analytics.DocFreq{Doc: doc, Freq: 1})
-			}
-		})
-	}
-	out := make(map[analytics.Seq][]analytics.DocFreq, len(perDoc))
-	for q, postings := range perDoc {
-		e.meter.Charge(int64(len(postings)), metrics.CostSortEntry)
-		out[q] = analytics.RankPostingsSorted(postings)
-	}
-	return out, nil
+func (v opEnv) Dict() *dict.Dictionary       { return v.e.d }
+func (v opEnv) NumFiles() int                { return v.e.NumFiles() }
+func (v opEnv) SeqOf(k uint64) analytics.Seq { return v.seqOf(k) }
+func (v opEnv) Charge(n, perOp int64)        { v.e.meter.Charge(n, perOp) }
+
+// fileWordView is the per-file word counter handed to folds: counts live in
+// a vocabulary-sized array, touched lists the distinct words in
+// first-occurrence order.
+type fileWordView struct {
+	counts  []uint64
+	touched []uint32
 }
 
-// scanSequences streams every SeqLen-window of file fi.
-func (e *Engine) scanSequences(fi int, emit func(analytics.Seq)) {
-	var window []uint32
-	e.scanFile(fi, func(toks []uint32) {
-		e.meter.Charge(int64(len(toks)), metrics.CostScanToken)
-		for _, w := range toks {
-			window = append(window, w)
-			if len(window) > analytics.SeqLen {
-				copy(window, window[1:])
-				window = window[:analytics.SeqLen]
+func (c fileWordView) Len() int64 { return int64(len(c.touched)) }
+func (c fileWordView) Range(fn func(k, v uint64) bool) {
+	for _, w := range c.touched {
+		if !fn(uint64(w), c.counts[w]) {
+			return
+		}
+	}
+}
+
+// RunOps implements analytics.Executor with one fused pass: every op in the
+// batch is fed from the same token scan.  Per-token CPU work is charged per
+// accumulator (each op class still hashes every token), but the scan itself
+// — and with it the modeled device traffic — happens once for the whole
+// batch instead of once per task.
+func (e *Engine) RunOps(ops []analytics.Op) ([]any, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	packed := e.canPackSeq()
+	si := &analytics.SeqInterner{}
+	env := opEnv{e: e}
+	if packed {
+		env.seqOf = unpackSeq
+	} else {
+		env.seqOf = si.SeqOf
+	}
+	folds := make([]analytics.Fold, len(ops))
+	var globalWord, globalSeq, fileWord, fileSeq []int
+	for i, op := range ops {
+		folds[i] = op.NewFold(env)
+		switch {
+		case op.Scope() == analytics.ScopeGlobal && op.Keys() == analytics.KeyWords:
+			globalWord = append(globalWord, i)
+		case op.Scope() == analytics.ScopeGlobal:
+			globalSeq = append(globalSeq, i)
+		case op.Keys() == analytics.KeyWords:
+			fileWord = append(fileWord, i)
+		default:
+			fileSeq = append(fileSeq, i)
+		}
+	}
+
+	// Counting goes through vocabulary-sized arrays rather than maps; the
+	// charged hash-op cost per token is unchanged — only host wall-clock
+	// differs.
+	var gw, fw []uint64
+	var touched []uint32
+	if len(globalWord) > 0 {
+		gw = make([]uint64, e.d.Len())
+	}
+	if len(fileWord) > 0 {
+		fw = make([]uint64, e.d.Len())
+	}
+	var gseq map[uint64]uint64
+	if len(globalSeq) > 0 {
+		gseq = make(map[uint64]uint64)
+	}
+	scanSeqs := len(globalSeq)+len(fileSeq) > 0
+	// Each word-keyed accumulator costs one hash op per token; the scan-token
+	// cost is charged once per token regardless of batch width.
+	wordAccums := int64(0)
+	if gw != nil {
+		wordAccums++
+	}
+	if fw != nil {
+		wordAccums++
+	}
+
+	const packMask = 1<<(2*packBits) - 1
+	for fi := 0; fi < e.NumFiles(); fi++ {
+		var fseq map[uint64]uint64
+		if len(fileSeq) > 0 {
+			fseq = make(map[uint64]uint64)
+		}
+		// Rolling window state, maintained across scan batches.
+		var pk uint64
+		warm := 0
+		var window []uint32
+		e.scanFile(fi, func(toks []uint32) {
+			e.meter.Charge(int64(len(toks)), metrics.CostScanToken)
+			if wordAccums > 0 {
+				e.meter.Charge(int64(len(toks))*wordAccums, metrics.CostHashOp)
 			}
-			if len(window) == analytics.SeqLen {
-				var q analytics.Seq
-				copy(q[:], window)
-				emit(q)
+			for _, w := range toks {
+				if gw != nil {
+					gw[w]++
+				}
+				if fw != nil {
+					if fw[w] == 0 {
+						touched = append(touched, w)
+					}
+					fw[w]++
+				}
+				if !scanSeqs {
+					continue
+				}
+				var key uint64
+				ready := false
+				if packed {
+					pk = (pk&packMask)<<packBits | uint64(w)
+					if warm < analytics.SeqLen-1 {
+						warm++
+					} else {
+						key, ready = pk, true
+					}
+				} else {
+					window = append(window, w)
+					if len(window) > analytics.SeqLen {
+						copy(window, window[1:])
+						window = window[:analytics.SeqLen]
+					}
+					if len(window) == analytics.SeqLen {
+						var q analytics.Seq
+						copy(q[:], window)
+						key, ready = si.Key(q), true
+					}
+				}
+				if !ready {
+					continue
+				}
+				if gseq != nil {
+					gseq[key]++
+				}
+				if fseq != nil {
+					fseq[key]++
+				}
+			}
+		})
+		// One charge per file covers every emitted window: Charge is linear
+		// in its op count, so this equals per-window charges.
+		if gseq != nil {
+			e.meter.Charge(e.numWindows(fi), metrics.CostSeqOp)
+		}
+		if len(fileSeq) > 0 {
+			e.meter.Charge(e.numWindows(fi), metrics.CostSeqOp+metrics.CostHashOp)
+		}
+		if fw != nil {
+			view := fileWordView{counts: fw, touched: touched}
+			for _, i := range fileWord {
+				if err := folds[i].File(uint32(fi), view); err != nil {
+					return nil, err
+				}
+			}
+			for _, w := range touched {
+				fw[w] = 0
+			}
+			touched = touched[:0]
+		}
+		if fseq != nil {
+			view := analytics.MapCounts(fseq)
+			for _, i := range fileSeq {
+				if err := folds[i].File(uint32(fi), view); err != nil {
+					return nil, err
+				}
 			}
 		}
-	})
+	}
+
+	if gw != nil {
+		kv := analytics.KVCounts{}
+		for w, c := range gw {
+			if c != 0 {
+				kv.Keys = append(kv.Keys, uint64(w))
+				kv.Vals = append(kv.Vals, c)
+			}
+		}
+		for _, i := range globalWord {
+			if err := folds[i].Global(kv); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if gseq != nil {
+		view := analytics.MapCounts(gseq)
+		for _, i := range globalSeq {
+			if err := folds[i].Global(view); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	results := make([]any, len(ops))
+	for i := range ops {
+		var err error
+		if results[i], err = folds[i].Finish(); err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// RunOp implements analytics.Executor.
+func (e *Engine) RunOp(op analytics.Op) (any, error) {
+	results, err := e.RunOps([]analytics.Op{op})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+// WordCount implements analytics.Engine.
+func (e *Engine) WordCount() (map[uint32]uint64, error) {
+	return analytics.RunAs[map[uint32]uint64](e, analytics.WordCountOp{})
+}
+
+// Sort implements analytics.Engine.
+func (e *Engine) Sort() ([]analytics.WordFreq, error) {
+	return analytics.RunAs[[]analytics.WordFreq](e, analytics.SortOp{})
+}
+
+// TermVectors implements analytics.Engine.
+func (e *Engine) TermVectors(k int) ([][]analytics.WordFreq, error) {
+	return analytics.RunAs[[][]analytics.WordFreq](e, analytics.TermVectorsOp{K: k})
+}
+
+// InvertedIndex implements analytics.Engine.
+func (e *Engine) InvertedIndex() (map[uint32][]uint32, error) {
+	return analytics.RunAs[map[uint32][]uint32](e, analytics.InvertedIndexOp{})
+}
+
+// SequenceCount implements analytics.Engine.
+func (e *Engine) SequenceCount() (map[analytics.Seq]uint64, error) {
+	return analytics.RunAs[map[analytics.Seq]uint64](e, analytics.SequenceCountOp{})
+}
+
+// RankedInvertedIndex implements analytics.Engine.
+func (e *Engine) RankedInvertedIndex() (map[analytics.Seq][]analytics.DocFreq, error) {
+	return analytics.RunAs[map[analytics.Seq][]analytics.DocFreq](e, analytics.RankedInvertedIndexOp{})
 }
 
 // Meter exposes the engine's modeled CPU meter for measurement.

@@ -20,39 +20,8 @@ func load(t testing.TB, files [][]uint32, d *dict.Dictionary) (*Engine, *nvm.Sim
 	return e, dev
 }
 
-func TestAllTasksMatchReference(t *testing.T) {
-	spec := datagen.Spec{
-		Name: "u", Seed: 21, Files: 6, TokensPer: 300, Vocab: 50,
-		ZipfS: 1.3, Phrases: 20, PhraseLen: 4, PhraseProb: 0.5,
-	}
-	files, d := spec.GenerateWithDict()
-	e, _ := load(t, files, d)
-
-	wc, err := e.WordCount()
-	if err != nil || !reflect.DeepEqual(wc, analytics.RefWordCount(files)) {
-		t.Errorf("word count mismatch (%v)", err)
-	}
-	srt, err := e.Sort()
-	if err != nil || !reflect.DeepEqual(srt, analytics.RefSort(files, d)) {
-		t.Errorf("sort mismatch (%v)", err)
-	}
-	tv, err := e.TermVector(5)
-	if err != nil || !reflect.DeepEqual(tv, analytics.RefTermVector(files, 5)) {
-		t.Errorf("term vector mismatch (%v)", err)
-	}
-	inv, err := e.InvertedIndex()
-	if err != nil || !reflect.DeepEqual(inv, analytics.RefInvertedIndex(files)) {
-		t.Errorf("inverted index mismatch (%v)", err)
-	}
-	sc, err := e.SequenceCount()
-	if err != nil || !reflect.DeepEqual(sc, analytics.RefSequenceCount(files)) {
-		t.Errorf("sequence count mismatch (%v)", err)
-	}
-	rii, err := e.RankedInvertedIndex()
-	if err != nil || !reflect.DeepEqual(rii, analytics.RefRankedInvertedIndex(files)) {
-		t.Errorf("ranked inverted index mismatch (%v)", err)
-	}
-}
+// Full per-task reference coverage for this scan engine lives in the
+// cross-executor differential test (internal/analytics/differential_test.go).
 
 func TestLoadRejectsSmallDevice(t *testing.T) {
 	files := [][]uint32{{1, 2, 3, 4, 5, 6, 7, 8}}
