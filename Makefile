@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke errcheck crashcheck check
+# Seconds of coverage-guided fuzzing per target in fuzz-smoke.
+FUZZTIME ?= 20s
+
+.PHONY: all build vet test race bench-smoke errcheck crashcheck fuzz-smoke check
 
 all: check
 
@@ -40,4 +43,13 @@ crashcheck:
 	$(GO) run ./cmd/crashcheck -task wordcount -persistence both \
 		-points 0 -seeds 3 -seed 42 -files 2 -tokens 120 -vocab 40 -corpus-seed 7
 
-check: build vet errcheck test race bench-smoke crashcheck
+# A short coverage-guided run of every fuzz target (archive parsing, the
+# compress/decompress round trip, op-log crash recovery).  Each target gets
+# FUZZTIME of fuzzing on top of its seed corpus; new crashers land in
+# testdata/fuzz/ for `make test` to replay forever after.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadArchive$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzCompressRoundTrip$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzOpLogRecovery$$' -fuzztime $(FUZZTIME) ./internal/core
+
+check: build vet errcheck test race bench-smoke crashcheck fuzz-smoke

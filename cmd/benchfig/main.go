@@ -13,6 +13,7 @@
 //	benchfig -fig datasets  Table I analogue: dataset statistics
 //	benchfig -fig prune     §IV-B: grammar redundancy eliminated by pruning
 //	benchfig -fig fused     fused multi-op batch vs sequential single-op runs
+//	benchfig -fig shards    sharded engine: parallel build + scatter-gather batch vs K=1
 //	benchfig -fig all       everything above
 //
 // -scale shrinks the corpora for quick runs (default 1.0 = the scaled-down
@@ -84,8 +85,9 @@ func main() {
 		"prune":     figPrune,
 		"endurance": figEndurance,
 		"fused":     figFused,
+		"shards":    figShards,
 	}
-	order := []string{"datasets", "prune", "5a", "5b", "6", "7", "dram", "table2", "phases", "traversal", "cross", "endurance", "fused"}
+	order := []string{"datasets", "prune", "5a", "5b", "6", "7", "dram", "table2", "phases", "traversal", "cross", "endurance", "fused", "shards"}
 
 	for rep := 0; rep < *benchrepeat; rep++ {
 		if *fig == "all" {
@@ -634,6 +636,49 @@ func figFused(specs []datagen.Spec) error {
 	}
 	fmt.Fprintf(w, "mean\t\t\t%.2fx\t\t\t%.1f%%\n",
 		harness.GeoMean(speedups), mean(reductions)*100)
+	return w.Flush()
+}
+
+// figShards quantifies the sharded engine: the corpus split into K
+// independent shards, built in parallel, with the fused six-task batch
+// scattered across the shards and gathered.  Speedups are modeled
+// critical-path times relative to K=1; the compression delta is the growth
+// of the total grammar, the price of not sharing redundancy across shards.
+func figShards(specs []datagen.Spec) error {
+	header("Shard scaling: parallel build and scatter-gather fused batch (vs K=1)")
+	var sel []datagen.Spec
+	for _, spec := range specs {
+		if spec.Name == "C" || spec.Name == "D" {
+			sel = append(sel, spec)
+		}
+	}
+	ks := []int{1, 2, 4}
+	ops := analytics.Ops()
+	cells := make([]harness.ShardCell, len(sel)*len(ks))
+	err := harness.ForEachCell(len(cells), func(i int) error {
+		spec, k := sel[i/len(ks)], ks[i%len(ks)]
+		c, err := harness.GetCorpus(spec)
+		if err != nil {
+			return err
+		}
+		cells[i], err = harness.RunShardScaling(c, ops, k, core.Options{})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "dataset\tshards\tbuild\tbatch traversal\tbuild speedup\tbatch speedup\tsymbols\tcompression delta")
+	for si, spec := range sel {
+		base := cells[si*len(ks)]
+		for ki := range ks {
+			cell := cells[si*len(ks)+ki]
+			fmt.Fprintf(w, "%s\t%d\t%.2f ms\t%.2f ms\t%.2fx\t%.2fx\t%d\t%+.1f%%\n",
+				spec.Name, cell.K, ms(cell.BuildTotal), ms(cell.TravTotal),
+				ratio(base.BuildTotal, cell.BuildTotal), ratio(base.TravTotal, cell.TravTotal),
+				cell.Symbols, (float64(cell.Symbols)/float64(base.Symbols)-1)*100)
+		}
+	}
 	return w.Flush()
 }
 

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	crashcheck -task wordcount -persistence both -points 0 -seeds 3 -seed 42
+//	crashcheck -task wordcount -shards 3 -points 8
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 		tokens      = flag.Int("tokens", 120, "tokens per file")
 		vocab       = flag.Int("vocab", 40, "corpus vocabulary size")
 		corpusSeed  = flag.Int64("corpus-seed", 7, "corpus generator seed")
+		shards      = flag.Int("shards", 1, "explore a k-way sharded engine instead (k >= 2)")
 		verbose     = flag.Bool("v", false, "print per-point progress while exploring")
 	)
 	flag.Parse()
@@ -64,12 +66,20 @@ func main() {
 		if *verbose {
 			cfg.Log = os.Stderr
 		}
-		rep, err := crashcheck.Run(cfg)
+		var (
+			rep *crashcheck.Report
+			err error
+		)
+		if *shards > 1 {
+			rep, err = crashcheck.RunSharded(cfg, *shards)
+		} else {
+			rep, err = crashcheck.Run(cfg)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "crashcheck: %v\n", err)
 			os.Exit(2)
 		}
-		printReport(mode, *task, rep)
+		printReport(mode, *task, rep, *shards > 1)
 		violations += rep.Violations
 	}
 	if violations > 0 {
@@ -79,7 +89,7 @@ func main() {
 	fmt.Println("\nOK: zero invariant violations")
 }
 
-func printReport(mode core.Persistence, task string, rep *crashcheck.Report) {
+func printReport(mode core.Persistence, task string, rep *crashcheck.Report, sharded bool) {
 	fmt.Printf("\n%s / %s: %d persistence events, %d crash points explored\n",
 		task, mode, rep.TotalEvents, len(rep.Points))
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -93,7 +103,11 @@ func printReport(mode core.Persistence, task string, rep *crashcheck.Report) {
 		if n := pt.Violations(); n > 0 {
 			verdict = fmt.Sprintf("VIOLATIONS=%d", n)
 		}
-		fmt.Fprintf(w, "%d\t%s\t%s\n", pt.Event, strings.Join(states, ","), verdict)
+		label := fmt.Sprintf("%d", pt.Event)
+		if sharded {
+			label = fmt.Sprintf("s%d/%d", pt.Shard, pt.Event)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\n", label, strings.Join(states, ","), verdict)
 		for _, o := range pt.Outcomes {
 			for _, v := range o.Violations {
 				fmt.Fprintf(w, "\t  %s: %s\t\n", o.Subset, v)

@@ -2,6 +2,7 @@
 // the compressed archive without decompression.
 //
 //	ntadoc compress -o corpus.tdc doc1.txt doc2.txt ...
+//	ntadoc compress -shards 4 -o corpus.tdc docs/*.txt
 //	ntadoc stats corpus.tdc
 //	ntadoc analyze -task wordcount -top 20 corpus.tdc
 //	ntadoc analyze -task seqcount -medium dram corpus.tdc
@@ -60,9 +61,13 @@ func usage() {
 func cmdCompress(args []string) error {
 	fs := flag.NewFlagSet("compress", flag.ExitOnError)
 	out := fs.String("o", "corpus.tdc", "output archive path")
+	shards := fs.Int("shards", 1, "compress into this many independent shards (parallel build and queries; slightly worse compression)")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		return fmt.Errorf("compress: no input files")
+	}
+	if *shards < 1 {
+		return fmt.Errorf("compress: -shards must be at least 1")
 	}
 	docs := make([]ntadoc.Document, 0, fs.NArg())
 	for _, path := range fs.Args() {
@@ -72,7 +77,7 @@ func cmdCompress(args []string) error {
 		}
 		docs = append(docs, ntadoc.Document{Name: filepath.Base(path), Text: string(data)})
 	}
-	a, err := ntadoc.Compress(docs)
+	a, err := ntadoc.CompressSharded(docs, *shards)
 	if err != nil {
 		return err
 	}
@@ -86,8 +91,12 @@ func cmdCompress(args []string) error {
 		return err
 	}
 	st := a.Stats()
-	fmt.Printf("compressed %d documents: %d tokens -> %d grammar symbols (%.1f%%), %d rules, archive %d bytes\n",
-		st.Documents, st.Tokens, st.GrammarSymbols, st.CompressionRate*100, st.Rules, n)
+	shardNote := ""
+	if a.NumShards() > 1 {
+		shardNote = fmt.Sprintf(", %d shards", a.NumShards())
+	}
+	fmt.Printf("compressed %d documents: %d tokens -> %d grammar symbols (%.1f%%), %d rules%s, archive %d bytes\n",
+		st.Documents, st.Tokens, st.GrammarSymbols, st.CompressionRate*100, st.Rules, shardNote, n)
 	return f.Sync()
 }
 
@@ -112,6 +121,9 @@ func cmdStats(args []string) error {
 	}
 	st := a.Stats()
 	fmt.Printf("documents:        %d\n", st.Documents)
+	if a.NumShards() > 1 {
+		fmt.Printf("shards:           %d\n", a.NumShards())
+	}
 	fmt.Printf("rules:            %d\n", st.Rules)
 	fmt.Printf("vocabulary:       %d\n", st.Vocabulary)
 	fmt.Printf("tokens:           %d\n", st.Tokens)

@@ -65,11 +65,15 @@ type DocCount struct {
 
 // Engine runs the six analytics tasks over an archive.  Engines built on
 // MediumNVM/SSD/HDD are N-TADOC instances over a simulated persistent
-// device; MediumDRAM is the original TADOC baseline.
+// device; MediumDRAM is the original TADOC baseline.  For a sharded archive
+// on N-TADOC media the engine is a sharded engine: one device and pool per
+// shard, built in parallel, with queries scattered across the shards and
+// gathered into corpus-wide results.
 type Engine struct {
 	a     *Archive
 	inner analytics.Engine
-	nt    *core.Engine // non-nil on N-TADOC media
+	nt    *core.Engine        // non-nil on unsharded N-TADOC media
+	sh    *core.ShardedEngine // non-nil on sharded N-TADOC media
 	names []string
 }
 
@@ -77,6 +81,8 @@ type Engine struct {
 func NewEngine(a *Archive, opts Options) (*Engine, error) {
 	e := &Engine{a: a, names: a.DocumentNames()}
 	if opts.Medium == MediumDRAM {
+		// The DRAM baseline has no per-shard devices to parallelize over;
+		// it runs on the whole-corpus grammar view.
 		inner, err := tadoc.New(a.g, a.d, tadoc.Auto)
 		if err != nil {
 			return nil, err
@@ -95,12 +101,22 @@ func NewEngine(a *Archive, opts Options) (*Engine, error) {
 	if opts.Persistence == OperationLevel {
 		persistence = core.OpLevel
 	}
-	nt, err := core.New(a.g, a.d, core.Options{
+	copts := core.Options{
 		Kind:        kind,
 		Path:        opts.PoolPath,
 		Persistence: persistence,
 		Sequences:   !opts.NoSequences,
-	})
+	}
+	if a.shards != nil {
+		sh, err := core.NewSharded(a.shards, a.d, copts)
+		if err != nil {
+			return nil, err
+		}
+		e.inner = sh
+		e.sh = sh
+		return e, nil
+	}
+	nt, err := core.New(a.g, a.d, copts)
 	if err != nil {
 		return nil, err
 	}
@@ -109,12 +125,23 @@ func NewEngine(a *Archive, opts Options) (*Engine, error) {
 	return e, nil
 }
 
-// Close releases the engine's simulated device (no-op for DRAM engines).
+// Close releases the engine's simulated devices (no-op for DRAM engines).
 func (e *Engine) Close() error {
 	if e.nt != nil {
 		return e.nt.Close()
 	}
+	if e.sh != nil {
+		return e.sh.Close()
+	}
 	return nil
+}
+
+// NumShards returns the engine's shard count (1 for unsharded engines).
+func (e *Engine) NumShards() int {
+	if e.sh != nil {
+		return e.sh.NumShards()
+	}
+	return 1
 }
 
 // WordCount returns the total occurrences of each word across the archive.
@@ -201,12 +228,13 @@ func (e *Engine) TopTerms(n int) ([]TermCount, error) {
 // PhaseTimes reports the modeled initialization and graph-traversal times of
 // the last task (N-TADOC engines only; zero for DRAM engines).
 func (e *Engine) PhaseTimes() (init, traversal time.Duration) {
-	if e.nt == nil {
-		return 0, 0
+	if e.nt != nil {
+		return e.nt.InitSpan().Total(), e.nt.LastTraversalSpan().Total()
 	}
-	init = e.nt.InitSpan().Total()
-	traversal = e.nt.LastTraversalSpan().Total()
-	return init, traversal
+	if e.sh != nil {
+		return e.sh.InitSpan().Total(), e.sh.LastTraversalSpan().Total()
+	}
+	return 0, 0
 }
 
 // MemoryFootprint reports the engine's storage residency: pool bytes on the
@@ -214,6 +242,9 @@ func (e *Engine) PhaseTimes() (init, traversal time.Duration) {
 func (e *Engine) MemoryFootprint() (deviceBytes, dramBytes int64) {
 	if e.nt != nil {
 		return e.nt.NVMBytes(), e.nt.DRAMBytes()
+	}
+	if e.sh != nil {
+		return e.sh.NVMBytes(), e.sh.DRAMBytes()
 	}
 	if t, ok := e.inner.(*tadoc.Engine); ok {
 		return 0, t.DRAMBytes()

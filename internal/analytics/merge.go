@@ -1,0 +1,166 @@
+// Shard-result merging: the scatter half of a sharded engine runs every op
+// independently per shard (files never straddle shards, so each shard's
+// traversal is a complete run over its slice of the corpus), and the gather
+// half folds the per-shard results back into one corpus-wide result here.
+// Merge semantics follow the op's declaration: global-scope ops combine
+// counters key-wise; per-file ops concatenate, offsetting document indices
+// by the shard's base.  Every canonical ordering (alphabetical sort, posting
+// ranking) is re-established after the merge, so merged results are
+// bit-identical to an unsharded run over the same corpus.
+package analytics
+
+import (
+	"fmt"
+
+	"github.com/text-analytics/ntadoc/internal/metrics"
+)
+
+// MergingFold is the merge capability of a fold: in addition to consuming
+// traversal counters, it can fold in the finished result of one shard's run
+// of the same op.  docBase is the global index of the shard's first
+// document; global-scope folds ignore it.  MergeShard calls must arrive in
+// ascending shard order and must not be mixed with Global/File deliveries;
+// Finish then produces the corpus-wide result.
+//
+// All registered ops implement it, which is what lets a sharded coordinator
+// run any op without task-specific merge code.
+type MergingFold interface {
+	Fold
+	MergeShard(result any, docBase uint32) error
+}
+
+// MergeShardResults folds per-shard results of op back into one corpus-wide
+// result.  results[i] is shard i's finished result; docBases[i] is the
+// global index of shard i's first document.  env must describe the whole
+// corpus (NumFiles is the corpus-wide document count).
+func MergeShardResults(op Op, env Env, results []any, docBases []uint32) (any, error) {
+	if len(results) != len(docBases) {
+		return nil, fmt.Errorf("analytics: merge %s: %d results, %d doc bases",
+			op.Name(), len(results), len(docBases))
+	}
+	fold := op.NewFold(env)
+	mf, ok := fold.(MergingFold)
+	if !ok {
+		return nil, fmt.Errorf("analytics: op %s fold is not mergeable", op.Name())
+	}
+	for i, res := range results {
+		if err := mf.MergeShard(res, docBases[i]); err != nil {
+			return nil, fmt.Errorf("analytics: merge %s shard %d: %w", op.Name(), i, err)
+		}
+	}
+	return mf.Finish()
+}
+
+// mergeTypeError reports a shard result whose concrete type does not match
+// the op's canonical result type — always a coordinator bug.
+func mergeTypeError(name string, result any) error {
+	return fmt.Errorf("analytics: %s shard result has type %T", name, result)
+}
+
+// MergeShard sums per-word counters key-wise.
+func (f *wordCountFold) MergeShard(result any, _ uint32) error {
+	in, ok := result.(map[uint32]uint64)
+	if !ok {
+		return mergeTypeError("wordcount", result)
+	}
+	f.env.Charge(int64(len(in)), metrics.CostMergeEntry)
+	for w, n := range in {
+		f.out[w] += n
+	}
+	return nil
+}
+
+// MergeShard sums the sorted shard vocabularies key-wise; Finish re-sorts
+// the merged vocabulary alphabetically.
+func (f *sortFold) MergeShard(result any, _ uint32) error {
+	in, ok := result.([]WordFreq)
+	if !ok {
+		return mergeTypeError("sort", result)
+	}
+	if f.acc == nil {
+		f.acc = make(map[uint32]uint64, len(in))
+	}
+	f.env.Charge(int64(len(in)), metrics.CostMergeEntry)
+	for _, wf := range in {
+		f.acc[wf.Word] += wf.Freq
+	}
+	return nil
+}
+
+// MergeShard places the shard's per-document vectors at their global
+// document indices; vectors are already final (a document's term vector
+// depends only on that document).
+func (f *termVectorsFold) MergeShard(result any, docBase uint32) error {
+	in, ok := result.([][]WordFreq)
+	if !ok {
+		return mergeTypeError("termvectors", result)
+	}
+	if int(docBase)+len(in) > len(f.out) {
+		return fmt.Errorf("analytics: termvectors shard [%d, +%d) exceeds %d documents",
+			docBase, len(in), len(f.out))
+	}
+	f.env.Charge(int64(len(in)), metrics.CostMergeEntry)
+	for i, vec := range in {
+		f.out[int(docBase)+i] = vec
+	}
+	return nil
+}
+
+// MergeShard concatenates posting lists with documents offset to their
+// global indices; Finish re-sorts each list into canonical document order.
+func (f *invertedIndexFold) MergeShard(result any, docBase uint32) error {
+	in, ok := result.(map[uint32][]uint32)
+	if !ok {
+		return mergeTypeError("invertedindex", result)
+	}
+	for w, docs := range in {
+		f.env.Charge(int64(len(docs)), metrics.CostMergeEntry)
+		for _, doc := range docs {
+			f.out[w] = append(f.out[w], doc+docBase)
+		}
+	}
+	return nil
+}
+
+// MergeShard sums per-sequence counters key-wise.
+func (f *seqCountFold) MergeShard(result any, _ uint32) error {
+	in, ok := result.(map[Seq]uint64)
+	if !ok {
+		return mergeTypeError("seqcount", result)
+	}
+	f.env.Charge(int64(len(in)), metrics.CostSeqOp)
+	for q, n := range in {
+		f.out[q] += n
+	}
+	return nil
+}
+
+// MergeShard concatenates ranked postings with documents offset to their
+// global indices; Finish re-ranks each merged list (descending frequency,
+// ascending document), restoring the canonical order.
+func (f *rankedIndexFold) MergeShard(result any, docBase uint32) error {
+	in, ok := result.(map[Seq][]DocFreq)
+	if !ok {
+		return mergeTypeError("rankedindex", result)
+	}
+	if f.merged == nil {
+		f.merged = make(map[Seq][]DocFreq, len(in))
+	}
+	for q, postings := range in {
+		f.env.Charge(int64(len(postings)), metrics.CostMergeEntry)
+		for _, p := range postings {
+			f.merged[q] = append(f.merged[q], DocFreq{Doc: p.Doc + docBase, Freq: p.Freq})
+		}
+	}
+	return nil
+}
+
+// Every registered op's fold must be mergeable.
+var (
+	_ MergingFold = (*wordCountFold)(nil)
+	_ MergingFold = (*sortFold)(nil)
+	_ MergingFold = (*termVectorsFold)(nil)
+	_ MergingFold = (*invertedIndexFold)(nil)
+	_ MergingFold = (*seqCountFold)(nil)
+	_ MergingFold = (*rankedIndexFold)(nil)
+)

@@ -1,0 +1,134 @@
+package analytics
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/text-analytics/ntadoc/internal/dict"
+	"github.com/text-analytics/ntadoc/internal/metrics"
+)
+
+// mergeEnv is the coordinator-side Env a sharded engine offers merging
+// folds: whole-corpus shape, no sequence-key resolution (shard results are
+// already Seq-keyed).
+type mergeEnv struct {
+	d        *dict.Dictionary
+	numFiles int
+	meter    *metrics.Meter
+}
+
+func (e mergeEnv) Dict() *dict.Dictionary { return e.d }
+func (e mergeEnv) NumFiles() int          { return e.numFiles }
+func (e mergeEnv) SeqOf(uint64) Seq       { panic("merge env resolves no sequence keys") }
+func (e mergeEnv) Charge(n, perOp int64)  { e.meter.Charge(n, perOp) }
+
+// mergeCorpus builds a deterministic multi-file corpus with enough overlap
+// between files for cross-shard key collisions in every key space.
+func mergeCorpus(t *testing.T) ([][]uint32, *dict.Dictionary) {
+	t.Helper()
+	d := dict.New()
+	texts := [][]string{
+		{"the", "quick", "brown", "fox", "jumps", "over", "the", "lazy", "dog"},
+		{"the", "quick", "red", "fox", "naps", "under", "the", "busy", "dog"},
+		{"a", "lazy", "dog", "naps", "over", "the", "quick", "brown", "fox"},
+		{"red", "dog", "jumps", "the", "fox", "the", "fox", "the", "fox"},
+		{"under", "a", "brown", "dog", "the", "lazy", "fox", "naps", "alone"},
+	}
+	files := make([][]uint32, len(texts))
+	for i, words := range texts {
+		for _, w := range words {
+			files[i] = append(files[i], d.Intern(w))
+		}
+	}
+	return files, d
+}
+
+// shardRefResult computes the op's reference result over one shard's files
+// alone — exactly what that shard's engine would produce.
+func shardRefResult(t *testing.T, op Op, files [][]uint32, d *dict.Dictionary) any {
+	t.Helper()
+	switch op.Task() {
+	case WordCount:
+		return RefWordCount(files)
+	case Sort:
+		return RefSort(files, d)
+	case TermVector:
+		return RefTermVector(files, op.(TermVectorsOp).K)
+	case InvertedIndex:
+		return RefInvertedIndex(files)
+	case SequenceCount:
+		return RefSequenceCount(files)
+	case RankedInvertedIndex:
+		return RefRankedInvertedIndex(files)
+	default:
+		t.Fatalf("unknown task %v", op.Task())
+		return nil
+	}
+}
+
+// TestMergeShardResults checks, for every registered op and several shard
+// splits, that merging per-shard reference results reproduces the
+// whole-corpus reference bit-for-bit.
+func TestMergeShardResults(t *testing.T) {
+	files, d := mergeCorpus(t)
+	splits := [][]int{
+		{5},          // one shard: merge must be the identity
+		{1, 4},       // skewed
+		{2, 3},       // balanced
+		{2, 2, 1},    // three shards
+		{1, 1, 1, 2}, // singleton shards
+	}
+	for _, op := range Ops() {
+		want := shardRefResult(t, op, files, d)
+		for _, split := range splits {
+			var meter metrics.Meter
+			env := mergeEnv{d: d, numFiles: len(files), meter: &meter}
+			var results []any
+			var bases []uint32
+			next := 0
+			for _, n := range split {
+				shard := files[next : next+n]
+				results = append(results, shardRefResult(t, op, shard, d))
+				bases = append(bases, uint32(next))
+				next += n
+			}
+			got, err := MergeShardResults(op, env, results, bases)
+			if err != nil {
+				t.Fatalf("%s split %v: %v", op.Name(), split, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s split %v: merged result differs from whole-corpus reference\n got %v\nwant %v",
+					op.Name(), split, got, want)
+			}
+			if len(split) > 1 && meter.Nanos() == 0 {
+				t.Errorf("%s split %v: merge charged no modeled CPU", op.Name(), split)
+			}
+		}
+	}
+}
+
+// TestMergeShardResultsRejectsWrongType ensures a mismatched shard result
+// type surfaces as an error, not a corrupt merge.
+func TestMergeShardResultsRejectsWrongType(t *testing.T) {
+	files, d := mergeCorpus(t)
+	var meter metrics.Meter
+	env := mergeEnv{d: d, numFiles: len(files), meter: &meter}
+	for _, op := range Ops() {
+		if _, err := MergeShardResults(op, env, []any{struct{}{}}, []uint32{0}); err == nil {
+			t.Errorf("%s: merging a bogus result type did not fail", op.Name())
+		}
+	}
+}
+
+// TestMergeDocBaseBounds ensures per-file merges reject shards that extend
+// past the declared corpus size.
+func TestMergeDocBaseBounds(t *testing.T) {
+	files, d := mergeCorpus(t)
+	var meter metrics.Meter
+	env := mergeEnv{d: d, numFiles: 2, meter: &meter} // corpus said 2 docs
+	op := TermVectorsOp{K: DefaultTermVectorK}
+	res := shardRefResult(t, op, files, d) // but the shard carries 5
+	if _, err := MergeShardResults(op, env, []any{res}, []uint32{0}); err == nil {
+		t.Fatal("termvectors merge beyond NumFiles did not fail")
+	}
+}

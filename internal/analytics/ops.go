@@ -174,6 +174,7 @@ func (SortOp) NewFold(env Env) Fold {
 type sortFold struct {
 	env Env
 	out []WordFreq
+	acc map[uint32]uint64 // shard-merge accumulator; nil on the traversal path
 }
 
 func (f *sortFold) Global(c Counts) error {
@@ -188,7 +189,18 @@ func (f *sortFold) Global(c Counts) error {
 	return nil
 }
 func (f *sortFold) File(uint32, Counts) error { return errFoldScope }
-func (f *sortFold) Finish() (any, error)      { return f.out, nil }
+func (f *sortFold) Finish() (any, error) {
+	if f.acc != nil {
+		out := make([]WordFreq, 0, len(f.acc))
+		for w, n := range f.acc {
+			out = append(out, WordFreq{Word: w, Freq: n})
+		}
+		f.env.Charge(int64(len(out)), metrics.CostSortEntry)
+		SortAlphabetical(out, f.env.Dict())
+		f.out = out
+	}
+	return f.out, nil
+}
 
 // TermVectorsOp produces each document's top-K most frequent words.
 type TermVectorsOp struct{ K int }
@@ -291,6 +303,7 @@ func (RankedInvertedIndexOp) NewFold(env Env) Fold {
 type rankedIndexFold struct {
 	env    Env
 	perDoc map[uint64][]DocFreq
+	merged map[Seq][]DocFreq // shard-merge accumulator; nil on the traversal path
 }
 
 func (f *rankedIndexFold) Global(Counts) error { return errFoldScope }
@@ -303,6 +316,14 @@ func (f *rankedIndexFold) File(doc uint32, c Counts) error {
 	return nil
 }
 func (f *rankedIndexFold) Finish() (any, error) {
+	if f.merged != nil {
+		out := make(map[Seq][]DocFreq, len(f.merged))
+		for q, postings := range f.merged {
+			f.env.Charge(int64(len(postings)), metrics.CostSortEntry)
+			out[q] = RankPostingsSorted(postings)
+		}
+		return out, nil
+	}
 	out := make(map[Seq][]DocFreq, len(f.perDoc))
 	for k, postings := range f.perDoc {
 		f.env.Charge(int64(len(postings)), metrics.CostSortEntry)

@@ -1,0 +1,248 @@
+package cfg
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+)
+
+// Sharded grammar container ("NTDCSHD1"): the compressed form of a corpus
+// partitioned into K independently-built grammars.  The shard boundary is
+// always whole files (separators never leave R0), so the manifest is fully
+// described by each shard's file count; shard s covers global documents
+// [fileBase(s), fileBase(s)+NumFiles(s)).
+//
+//	magic            8 bytes
+//	numShards        uvarint
+//	per shard:
+//	  fileBase       uvarint (global index of the shard's first document)
+//	  sectionLen     uvarint
+//	  grammar        sectionLen bytes ("NTDCCFG1", self-checksummed)
+//	crc32            4 bytes LE, over everything before it
+//
+// Each shard section carries its own CRC; the container CRC additionally
+// covers the manifest framing, so a truncated or reordered shard list is
+// detected even when every section is individually intact.
+
+var shardMagic = []byte("NTDCSHD1")
+
+// MaxShards bounds the shard count a container may declare.
+const MaxShards = 1 << 16
+
+// IsShardContainer reports whether b begins with the sharded-container
+// magic.  Callers use it to dispatch between ReadGrammar and ReadShards.
+func IsShardContainer(b []byte) bool {
+	return len(b) >= len(shardMagic) && bytes.Equal(b[:len(shardMagic)], shardMagic)
+}
+
+// WriteShards serializes a sharded grammar set as one container.
+func WriteShards(w io.Writer, shards []*Grammar) (int64, error) {
+	if len(shards) == 0 {
+		return 0, fmt.Errorf("%w: empty shard set", ErrInvalid)
+	}
+	if len(shards) > MaxShards {
+		return 0, fmt.Errorf("%w: %d shards", ErrInvalid, len(shards))
+	}
+	crc := crc32.NewIEEE()
+	cw := &countWriter{w: io.MultiWriter(w, crc)}
+	var buf [binary.MaxVarintLen64]byte
+	uv := func(v uint64) error {
+		_, err := cw.Write(buf[:binary.PutUvarint(buf[:], v)])
+		return err
+	}
+	if _, err := cw.Write(shardMagic); err != nil {
+		return cw.n, err
+	}
+	if err := uv(uint64(len(shards))); err != nil {
+		return cw.n, err
+	}
+	fileBase := uint64(0)
+	for i, g := range shards {
+		var section bytes.Buffer
+		if _, err := g.WriteTo(&section); err != nil {
+			return cw.n, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if err := uv(fileBase); err != nil {
+			return cw.n, err
+		}
+		if err := uv(uint64(section.Len())); err != nil {
+			return cw.n, err
+		}
+		if _, err := cw.Write(section.Bytes()); err != nil {
+			return cw.n, err
+		}
+		fileBase += uint64(g.NumFiles)
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc.Sum32())
+	m, err := w.Write(crcBuf[:])
+	return cw.n + int64(m), err
+}
+
+// hashReader hashes exactly the bytes delivered to the parser — unlike a
+// hashing layer under a bufio.Reader, read-ahead never pollutes the CRC.
+type hashReader struct {
+	r   io.Reader
+	crc hash.Hash32
+}
+
+func (h *hashReader) Read(p []byte) (int, error) {
+	n, err := h.r.Read(p)
+	if n > 0 {
+		h.crc.Write(p[:n])
+	}
+	return n, err
+}
+
+func (h *hashReader) ReadByte() (byte, error) {
+	var b [1]byte
+	if _, err := io.ReadFull(h.r, b[:]); err != nil {
+		return 0, err
+	}
+	h.crc.Write(b[:])
+	return b[0], nil
+}
+
+// ReadShards deserializes a container written by WriteShards, validating
+// every shard grammar and the manifest framing.
+func ReadShards(r io.Reader) ([]*Grammar, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	hr := &hashReader{r: br, crc: crc32.NewIEEE()}
+	fail := func(stage string, err error) ([]*Grammar, error) {
+		return nil, fmt.Errorf("%w: shard container %s: %v", ErrInvalid, stage, err)
+	}
+
+	magic := make([]byte, len(shardMagic))
+	if _, err := io.ReadFull(hr, magic); err != nil {
+		return fail("magic", err)
+	}
+	if !bytes.Equal(magic, shardMagic) {
+		return nil, fmt.Errorf("%w: bad shard magic %q", ErrInvalid, magic)
+	}
+	numShards, err := binary.ReadUvarint(hr)
+	if err != nil {
+		return fail("shard count", err)
+	}
+	if numShards == 0 || numShards > MaxShards {
+		return nil, fmt.Errorf("%w: absurd shard count %d", ErrInvalid, numShards)
+	}
+	shards := make([]*Grammar, 0, clampPrealloc(numShards))
+	fileBase := uint64(0)
+	for i := uint64(0); i < numShards; i++ {
+		base, err := binary.ReadUvarint(hr)
+		if err != nil {
+			return fail("file base", err)
+		}
+		if base != fileBase {
+			return nil, fmt.Errorf("%w: shard %d declares file base %d, want %d",
+				ErrInvalid, i, base, fileBase)
+		}
+		sectionLen, err := binary.ReadUvarint(hr)
+		if err != nil {
+			return fail("section length", err)
+		}
+		if sectionLen == 0 || sectionLen > 1<<40 {
+			return nil, fmt.Errorf("%w: absurd shard section length %d", ErrInvalid, sectionLen)
+		}
+		g, err := ReadGrammar(io.LimitReader(hr, int64(sectionLen)))
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		shards = append(shards, g)
+		fileBase += uint64(g.NumFiles)
+	}
+	want := hr.crc.Sum32()
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+		return fail("crc", err)
+	}
+	if got := binary.LittleEndian.Uint32(crcBuf[:]); got != want {
+		return nil, fmt.Errorf("%w: shard container checksum mismatch", ErrInvalid)
+	}
+	return shards, nil
+}
+
+// ConcatShards merges per-shard grammars into one grammar equivalent to
+// compressing the concatenated corpus with per-shard redundancy only: shard
+// roots are concatenated into a single R0 with globally renumbered
+// separators, and every shard's non-root rules are appended with their
+// references remapped.  The merged view backs whole-archive operations
+// (stats, decompression, the DRAM engine) without re-inferring anything.
+func ConcatShards(shards []*Grammar) (*Grammar, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("%w: empty shard set", ErrInvalid)
+	}
+	if len(shards) == 1 {
+		return shards[0], nil
+	}
+	out := &Grammar{}
+	totalRules := 1
+	hasNames := true
+	for _, g := range shards {
+		totalRules += len(g.Rules) - 1
+		if g.NumWords > out.NumWords {
+			out.NumWords = g.NumWords
+		}
+		out.NumFiles += g.NumFiles
+		hasNames = hasNames && g.Files != nil
+	}
+	if uint64(totalRules) > MaxRules {
+		return nil, fmt.Errorf("%w: merged grammar needs %d rules", ErrInvalid, totalRules)
+	}
+	out.Rules = make([][]Symbol, 1, totalRules)
+	if hasNames {
+		out.Files = make([]string, 0, out.NumFiles)
+	}
+	var root []Symbol
+	fileBase, ruleBase := uint32(0), uint32(1)
+	for si, g := range shards {
+		if len(g.Rules) == 0 {
+			return nil, fmt.Errorf("%w: shard %d has no rules", ErrInvalid, si)
+		}
+		// Shard-local rule r >= 1 becomes global rule ruleBase + r - 1; the
+		// shard root's symbols land directly in the merged R0.  References
+		// to a shard's own root have no merged counterpart.
+		var remapErr error
+		remap := func(s Symbol) Symbol {
+			switch {
+			case s.IsRule():
+				if s.RuleIndex() == 0 {
+					remapErr = fmt.Errorf("%w: shard %d references its root", ErrInvalid, si)
+					return s
+				}
+				return Rule(ruleBase + s.RuleIndex() - 1)
+			case s.IsSep():
+				return Sep(fileBase + s.SepIndex())
+			default:
+				return s
+			}
+		}
+		for _, s := range g.Rules[0] {
+			root = append(root, remap(s))
+		}
+		for _, body := range g.Rules[1:] {
+			nb := make([]Symbol, len(body))
+			for i, s := range body {
+				nb[i] = remap(s)
+			}
+			out.Rules = append(out.Rules, nb)
+		}
+		if remapErr != nil {
+			return nil, remapErr
+		}
+		if hasNames {
+			out.Files = append(out.Files, g.Files...)
+		}
+		fileBase += g.NumFiles
+		ruleBase += uint32(len(g.Rules) - 1)
+	}
+	out.Rules[0] = root
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

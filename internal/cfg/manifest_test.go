@@ -1,0 +1,108 @@
+package cfg
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// shardGrammars builds two small valid shard grammars with overlapping
+// vocabulary and a shared subrule shape.
+func shardGrammars(t *testing.T) []*Grammar {
+	t.Helper()
+	g1 := &Grammar{
+		NumWords: 6,
+		NumFiles: 2,
+		Files:    []string{"a.txt", "b.txt"},
+		Rules: [][]Symbol{
+			{Rule(1), Word(2), Sep(0), Rule(1), Word(3), Sep(1)},
+			{Word(0), Word(1)},
+		},
+	}
+	g2 := &Grammar{
+		NumWords: 6,
+		NumFiles: 1,
+		Files:    []string{"c.txt"},
+		Rules: [][]Symbol{
+			{Rule(1), Rule(1), Word(5), Sep(0)},
+			{Word(4), Word(0)},
+		},
+	}
+	for i, g := range []*Grammar{g1, g2} {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("shard %d invalid: %v", i, err)
+		}
+	}
+	return []*Grammar{g1, g2}
+}
+
+func TestShardContainerRoundTrip(t *testing.T) {
+	shards := shardGrammars(t)
+	var buf bytes.Buffer
+	n, err := WriteShards(&buf, shards)
+	if err != nil {
+		t.Fatalf("WriteShards: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteShards reported %d bytes, wrote %d", n, buf.Len())
+	}
+	if !IsShardContainer(buf.Bytes()) {
+		t.Fatal("container magic not detected")
+	}
+	got, err := ReadShards(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadShards: %v", err)
+	}
+	if !reflect.DeepEqual(got, shards) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, shards)
+	}
+}
+
+func TestShardContainerDetectsCorruption(t *testing.T) {
+	shards := shardGrammars(t)
+	var buf bytes.Buffer
+	if _, err := WriteShards(&buf, shards); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Truncation and a flipped bit in the manifest framing must both fail.
+	if _, err := ReadShards(bytes.NewReader(data[:len(data)-6])); err == nil {
+		t.Fatal("truncated container accepted")
+	}
+	corrupt := append([]byte(nil), data...)
+	corrupt[9] ^= 0x01 // shard count byte
+	if _, err := ReadShards(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("corrupt shard count accepted")
+	}
+}
+
+func TestConcatShards(t *testing.T) {
+	shards := shardGrammars(t)
+	merged, err := ConcatShards(shards)
+	if err != nil {
+		t.Fatalf("ConcatShards: %v", err)
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatalf("merged grammar invalid: %v", err)
+	}
+	if merged.NumFiles != 3 || len(merged.Files) != 3 {
+		t.Fatalf("merged files = %d/%d, want 3", merged.NumFiles, len(merged.Files))
+	}
+	// The merged expansion must equal the shard expansions concatenated in
+	// shard order.
+	var want [][]uint32
+	for _, g := range shards {
+		want = append(want, g.ExpandFiles()...)
+	}
+	if got := merged.ExpandFiles(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged expansion mismatch:\n got %v\nwant %v", got, want)
+	}
+	// Single-shard concat is the identity.
+	if one, err := ConcatShards(shards[:1]); err != nil || one != shards[0] {
+		t.Fatalf("single-shard concat = (%v, %v)", one, err)
+	}
+	if _, err := ConcatShards(nil); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("empty concat error = %v", err)
+	}
+}

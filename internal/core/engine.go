@@ -101,7 +101,11 @@ func New(g *cfg.Grammar, d *dict.Dictionary, opts Options) (*Engine, error) {
 	default:
 		dev = nvm.NewWithModel(opts.Kind, size, model)
 	}
-	pool, err := pmem.Create(dev, pmem.Options{LogCap: opts.OpLogCap})
+	pool, err := pmem.Create(dev, pmem.Options{
+		LogCap:     opts.OpLogCap,
+		Shard:      opts.ShardIndex,
+		ShardCount: opts.ShardCount,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -129,6 +129,19 @@ type Options struct {
 	// The crash-exploration harness injects pre-armed devices this way; the
 	// engine takes ownership (Close discards it).
 	Device *nvm.SimDevice
+	// ShardIndex and ShardCount stamp the engine's pool with its position in
+	// a sharded engine set (both zero for an unsharded engine).  NewSharded
+	// fills them per shard; sharded recovery validates the stamps so a
+	// device set assembled from mismatched shards is rejected.
+	ShardIndex uint32
+	ShardCount uint32
+	// ShardDevices, when non-nil, provides one pre-created device per shard
+	// to NewSharded (it must have exactly one device per shard grammar).
+	// The crash-exploration harness injects pre-armed shard devices this
+	// way.  On success each shard engine takes ownership of its device;
+	// when construction fails the devices stay with the caller, so a crash
+	// harness can still clone their durable state.
+	ShardDevices []*nvm.SimDevice
 	// Persistence selects the §IV-E strategy (default PhaseLevel).
 	Persistence Persistence
 	// Strategy selects the traversal direction (default Auto).

@@ -1,0 +1,398 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/text-analytics/ntadoc/internal/analytics"
+	"github.com/text-analytics/ntadoc/internal/cfg"
+	"github.com/text-analytics/ntadoc/internal/dict"
+	"github.com/text-analytics/ntadoc/internal/metrics"
+	"github.com/text-analytics/ntadoc/internal/nvm"
+)
+
+// ShardedEngine is the scatter-gather coordinator over K independent shard
+// engines.  Each shard owns a complete engine — its own grammar, simulated
+// device, pmem pool, and (in operation-level mode) op log — making every
+// shard an independent persistence and recovery domain.  Since the shard
+// boundary is whole files, each shard's traversal is a complete run of the
+// operation kernel over its slice of the corpus; the coordinator runs the
+// shards in parallel goroutines and merges their results through the
+// analytics.MergingFold capability (global ops combine counters key-wise;
+// per-file ops concatenate with document indices offset by the shard base).
+//
+// Modeled time follows the parallel execution: a phase's Total is the
+// critical path (the slowest shard) plus the coordinator's serial merge,
+// while device statistics sum across shards (see metrics.MergeParallel).
+type ShardedEngine struct {
+	shards []*Engine
+	bases  []uint32 // global index of each shard's first document
+	nfiles uint32
+	d      *dict.Dictionary
+
+	meter    metrics.Meter // coordinator-side merge CPU
+	initSpan metrics.Span
+
+	mu       sync.Mutex
+	lastTrav metrics.Span
+}
+
+// ErrShardMismatch reports a sharded device set whose pool stamps do not
+// match the positions they were assembled in.
+var ErrShardMismatch = errors.New("core: pool shard stamp does not match its position")
+
+// NewSharded builds one engine per shard grammar concurrently and returns
+// the coordinator.  Shard grammars come from sequitur.InferShards (or
+// cfg.ReadShards); all shards share one dictionary.  Per-shard devices are
+// created automatically, or injected via opts.ShardDevices; a file-backed
+// opts.Path becomes one file per shard (path + ".shardN").
+func NewSharded(gs []*cfg.Grammar, d *dict.Dictionary, opts Options) (*ShardedEngine, error) {
+	if len(gs) == 0 {
+		return nil, errEngine("new sharded", errors.New("no shard grammars"))
+	}
+	if opts.ShardDevices != nil && len(opts.ShardDevices) != len(gs) {
+		return nil, errEngine("new sharded", fmt.Errorf("%d devices for %d shards",
+			len(opts.ShardDevices), len(gs)))
+	}
+	se := &ShardedEngine{
+		shards: make([]*Engine, len(gs)),
+		bases:  make([]uint32, len(gs)),
+		d:      d,
+	}
+	for i, g := range gs {
+		se.bases[i] = se.nfiles
+		se.nfiles += g.NumFiles
+	}
+	errs := make([]error, len(gs))
+	var wg sync.WaitGroup
+	for i, g := range gs {
+		wg.Add(1)
+		go func(i int, g *cfg.Grammar) {
+			defer wg.Done()
+			o := opts
+			o.ShardIndex = uint32(i)
+			o.ShardCount = uint32(len(gs))
+			o.Device = nil
+			o.ShardDevices = nil
+			if opts.ShardDevices != nil {
+				o.Device = opts.ShardDevices[i]
+			}
+			if o.Path != "" {
+				o.Path = fmt.Sprintf("%s.shard%d", opts.Path, i)
+			}
+			se.shards[i], errs[i] = New(g, d, o)
+		}(i, g)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			// Discard the devices this constructor created; injected devices
+			// stay with the caller (the crash harness clones them after a
+			// failed build, exactly like core.New with an injected Device).
+			if opts.ShardDevices == nil {
+				for _, sh := range se.shards {
+					if sh != nil {
+						sh.Close()
+					}
+				}
+			}
+			return nil, errEngine("new sharded", fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	spans := make([]metrics.Span, len(se.shards))
+	for i, sh := range se.shards {
+		spans[i] = sh.InitSpan()
+	}
+	se.initSpan = metrics.MergeParallel(spans...)
+	return se, nil
+}
+
+// ReopenSharded recovers a sharded engine from its per-shard devices after
+// a crash or restart: each shard recovers independently under the unsharded
+// recovery contract (devs[i] carries shard i's pool).  Pool shard stamps
+// are validated against the assembly order, so a reordered or foreign
+// device set fails with ErrShardMismatch rather than silently merging the
+// wrong documents.  Any shard whose initialization never completed fails
+// the whole reopen with ErrNeedsReload (the caller rebuilds that shard from
+// the compressed input); the per-shard infos of the shards examined so far
+// are returned alongside the error's shard index in its message.
+func ReopenSharded(devs []*nvm.SimDevice, d *dict.Dictionary, opts Options) (*ShardedEngine, []*RecoveryInfo, error) {
+	if len(devs) == 0 {
+		return nil, nil, errEngine("reopen sharded", errors.New("no shard devices"))
+	}
+	se := &ShardedEngine{
+		shards: make([]*Engine, len(devs)),
+		bases:  make([]uint32, len(devs)),
+		d:      d,
+	}
+	infos := make([]*RecoveryInfo, 0, len(devs))
+	for i, dev := range devs {
+		o := opts
+		o.Device = nil
+		o.ShardDevices = nil
+		o.ShardIndex = uint32(i)
+		o.ShardCount = uint32(len(devs))
+		e, info, err := Reopen(dev, d, o)
+		if err != nil {
+			return nil, infos, fmt.Errorf("core: reopen shard %d: %w", i, err)
+		}
+		if idx, cnt := e.pool.Shard(); idx != uint32(i) || cnt != uint32(len(devs)) {
+			return nil, infos, fmt.Errorf("core: shard %d: %w: pool stamped %d of %d",
+				i, ErrShardMismatch, idx, cnt)
+		}
+		se.shards[i] = e
+		se.bases[i] = se.nfiles
+		se.nfiles += e.numFiles
+		infos = append(infos, info)
+	}
+	return se, infos, nil
+}
+
+// shardedEnv is the Env the coordinator offers merging folds: whole-corpus
+// shape, coordinator-side CPU charging, no sequence-key resolution (shard
+// results arrive already Seq-keyed).
+type shardedEnv struct {
+	d      *dict.Dictionary
+	nfiles int
+	meter  *metrics.Meter
+}
+
+func (e shardedEnv) Dict() *dict.Dictionary     { return e.d }
+func (e shardedEnv) NumFiles() int              { return e.nfiles }
+func (e shardedEnv) SeqOf(uint64) analytics.Seq { panic("core: merge env resolves no sequence keys") }
+func (e shardedEnv) Charge(n, perOp int64)      { e.meter.Charge(n, perOp) }
+
+// scatterGather runs the batch on every shard in parallel through run, then
+// merges the per-shard results on meter's account.
+func (se *ShardedEngine) scatterGather(ops []analytics.Op,
+	run func(shard int, ops []analytics.Op) ([]any, error),
+	meter *metrics.Meter) ([]any, error) {
+	outs := make([][]any, len(se.shards))
+	errs := make([]error, len(se.shards))
+	var wg sync.WaitGroup
+	for i := range se.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = run(i, ops)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: shard %d: %w", i, err)
+		}
+	}
+	env := shardedEnv{d: se.d, nfiles: int(se.nfiles), meter: meter}
+	results := make([]any, len(ops))
+	for j, op := range ops {
+		per := make([]any, len(se.shards))
+		for i := range se.shards {
+			per[i] = outs[i][j]
+		}
+		r, err := analytics.MergeShardResults(op, env, per, se.bases)
+		if err != nil {
+			return nil, err
+		}
+		results[j] = r
+	}
+	return results, nil
+}
+
+// RunOps implements analytics.Executor: the batch executes fused on every
+// shard concurrently, and the per-shard results are merged into corpus-wide
+// results.  results[i] corresponds to ops[i] with the op's canonical result
+// type, bit-identical to an unsharded engine over the same corpus.
+func (se *ShardedEngine) RunOps(ops []analytics.Op) ([]any, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	cpu0 := se.meter.Nanos()
+	results, err := se.scatterGather(ops, func(i int, ops []analytics.Op) ([]any, error) {
+		return se.shards[i].RunOps(ops)
+	}, &se.meter)
+	if err != nil {
+		return nil, err
+	}
+	spans := make([]metrics.Span, len(se.shards))
+	for i, sh := range se.shards {
+		spans[i] = sh.LastTraversalSpan()
+	}
+	trav := metrics.MergeParallel(spans...).AddSerial(se.meter.Nanos() - cpu0)
+	se.mu.Lock()
+	se.lastTrav = trav
+	se.mu.Unlock()
+	return results, nil
+}
+
+// RunOp implements analytics.Executor.
+func (se *ShardedEngine) RunOp(op analytics.Op) (any, error) {
+	results, err := se.RunOps([]analytics.Op{op})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+var _ analytics.Executor = (*ShardedEngine)(nil)
+var _ analytics.Engine = (*ShardedEngine)(nil)
+
+// WordCount implements analytics.Engine.
+func (se *ShardedEngine) WordCount() (map[uint32]uint64, error) {
+	v, err := se.RunOp(analytics.WordCountOp{})
+	if err != nil {
+		return nil, err
+	}
+	return v.(map[uint32]uint64), nil
+}
+
+// Sort implements analytics.Engine.
+func (se *ShardedEngine) Sort() ([]analytics.WordFreq, error) {
+	v, err := se.RunOp(analytics.SortOp{})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]analytics.WordFreq), nil
+}
+
+// TermVectors implements analytics.Engine.
+func (se *ShardedEngine) TermVectors(k int) ([][]analytics.WordFreq, error) {
+	v, err := se.RunOp(analytics.TermVectorsOp{K: k})
+	if err != nil {
+		return nil, err
+	}
+	return v.([][]analytics.WordFreq), nil
+}
+
+// InvertedIndex implements analytics.Engine.
+func (se *ShardedEngine) InvertedIndex() (map[uint32][]uint32, error) {
+	v, err := se.RunOp(analytics.InvertedIndexOp{})
+	if err != nil {
+		return nil, err
+	}
+	return v.(map[uint32][]uint32), nil
+}
+
+// SequenceCount implements analytics.Engine.
+func (se *ShardedEngine) SequenceCount() (map[analytics.Seq]uint64, error) {
+	v, err := se.RunOp(analytics.SequenceCountOp{})
+	if err != nil {
+		return nil, err
+	}
+	return v.(map[analytics.Seq]uint64), nil
+}
+
+// RankedInvertedIndex implements analytics.Engine.
+func (se *ShardedEngine) RankedInvertedIndex() (map[analytics.Seq][]analytics.DocFreq, error) {
+	v, err := se.RunOp(analytics.RankedInvertedIndexOp{})
+	if err != nil {
+		return nil, err
+	}
+	return v.(map[analytics.Seq][]analytics.DocFreq), nil
+}
+
+// ShardedSession is a read-only query context over every shard: one session
+// per shard engine, run in parallel and merged like the engine's task path,
+// with all merge-side state session-local.  Sessions model the post-load
+// query phase and must not run concurrently with engine task methods or
+// Close, only with each other.
+type ShardedSession struct {
+	se       *ShardedEngine
+	sessions []*Session
+	meter    metrics.Meter
+}
+
+// NewSession opens one query session per shard.
+func (se *ShardedEngine) NewSession() *ShardedSession {
+	ss := &ShardedSession{se: se, sessions: make([]*Session, len(se.shards))}
+	for i, sh := range se.shards {
+		ss.sessions[i] = sh.NewSession()
+	}
+	return ss
+}
+
+// RunOps implements analytics.Executor over session-local state.
+func (ss *ShardedSession) RunOps(ops []analytics.Op) ([]any, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	return ss.se.scatterGather(ops, func(i int, ops []analytics.Op) ([]any, error) {
+		return ss.sessions[i].RunOps(ops)
+	}, &ss.meter)
+}
+
+// RunOp implements analytics.Executor.
+func (ss *ShardedSession) RunOp(op analytics.Op) (any, error) {
+	results, err := ss.RunOps([]analytics.Op{op})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+var _ analytics.Executor = (*ShardedSession)(nil)
+
+// Meter reports the modeled CPU cost of this session's merge work; the
+// per-shard traversal costs live on the shard sessions' meters.
+func (ss *ShardedSession) Meter() *metrics.Meter { return &ss.meter }
+
+// NumShards returns the shard count.
+func (se *ShardedEngine) NumShards() int { return len(se.shards) }
+
+// Shard returns shard i's engine, for inspection and shard-local recovery
+// checks; mutating it directly bypasses the coordinator.
+func (se *ShardedEngine) Shard(i int) *Engine { return se.shards[i] }
+
+// DocBases returns the global index of each shard's first document.
+func (se *ShardedEngine) DocBases() []uint32 { return se.bases }
+
+// InitSpan reports the parallel build: critical path across shards, summed
+// device statistics.
+func (se *ShardedEngine) InitSpan() metrics.Span { return se.initSpan }
+
+// LastTraversalSpan reports the last scatter-gather: the slowest shard's
+// traversal plus the coordinator's merge.
+func (se *ShardedEngine) LastTraversalSpan() metrics.Span {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.lastTrav
+}
+
+// NVMBytes sums pool residency across shards.
+func (se *ShardedEngine) NVMBytes() int64 {
+	var n int64
+	for _, sh := range se.shards {
+		n += sh.NVMBytes()
+	}
+	return n
+}
+
+// DRAMBytes sums DRAM residency across shards.
+func (se *ShardedEngine) DRAMBytes() int64 {
+	var n int64
+	for _, sh := range se.shards {
+		n += sh.DRAMBytes()
+	}
+	return n
+}
+
+// DeviceStats sums device counters across the shard devices.
+func (se *ShardedEngine) DeviceStats() nvm.Stats {
+	var st nvm.Stats
+	for _, sh := range se.shards {
+		st = st.Add(sh.Device().Stats())
+	}
+	return st
+}
+
+// Close releases every shard's simulated device.
+func (se *ShardedEngine) Close() error {
+	var errs []error
+	for i, sh := range se.shards {
+		if err := sh.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}

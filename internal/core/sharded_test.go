@@ -1,0 +1,251 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/text-analytics/ntadoc/internal/analytics"
+	"github.com/text-analytics/ntadoc/internal/nvm"
+	"github.com/text-analytics/ntadoc/internal/sequitur"
+)
+
+// TestShardCountInvariance is the differential test of the sharded engine:
+// for every registered op, a K-way sharded engine must return results
+// bit-identical to the unsharded engine over the same corpus, for K up to
+// more shards than strictly useful, across corpora with different file
+// counts and redundancy.  Run under -race this also exercises the
+// scatter-gather concurrency.
+func TestShardCountInvariance(t *testing.T) {
+	cases := []struct {
+		name                 string
+		seed                 int64
+		files, tokens, vocab int
+	}{
+		{"small", 51, 4, 200, 30},
+		{"manyfiles", 52, 9, 120, 40},
+		{"redundant", 53, 6, 300, 15},
+	}
+	ops := analytics.Ops()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			files, d, g := corpus(t, tc.seed, tc.files, tc.tokens, tc.vocab)
+			ref := newEngine(t, g, d, Options{Sequences: true})
+			want, err := ref.RunOps(ops)
+			if err != nil {
+				t.Fatalf("unsharded RunOps: %v", err)
+			}
+			for k := 1; k <= 4; k++ {
+				gs, err := sequitur.InferShards(files, uint32(d.Len()), k)
+				if err != nil {
+					t.Fatalf("InferShards(k=%d): %v", k, err)
+				}
+				se, err := NewSharded(gs, d, Options{Sequences: true})
+				if err != nil {
+					t.Fatalf("NewSharded(k=%d): %v", k, err)
+				}
+				t.Cleanup(func() { se.Close() })
+				got, err := se.RunOps(ops)
+				if err != nil {
+					t.Fatalf("sharded RunOps(k=%d): %v", k, err)
+				}
+				for i, op := range ops {
+					if !reflect.DeepEqual(got[i], want[i]) {
+						t.Errorf("k=%d op %s: sharded result differs from unsharded", k, op.Name())
+					}
+				}
+				// Singleton path and typed engine methods.
+				wc, err := se.WordCount()
+				if err != nil {
+					t.Fatalf("sharded WordCount(k=%d): %v", k, err)
+				}
+				if !reflect.DeepEqual(wc, want[0]) {
+					t.Errorf("k=%d: WordCount differs from unsharded", k)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedSessions checks concurrent sessions over a sharded engine
+// merge to the same results as the engine itself.
+func TestShardedSessions(t *testing.T) {
+	files, d, g := corpus(t, 54, 5, 200, 30)
+	ref := newEngine(t, g, d, Options{Sequences: true})
+	ops := analytics.Ops()
+	want, err := ref.RunOps(ops)
+	if err != nil {
+		t.Fatalf("unsharded RunOps: %v", err)
+	}
+	gs, err := sequitur.InferShards(files, uint32(d.Len()), 3)
+	if err != nil {
+		t.Fatalf("InferShards: %v", err)
+	}
+	se, err := NewSharded(gs, d, Options{Sequences: true})
+	if err != nil {
+		t.Fatalf("NewSharded: %v", err)
+	}
+	defer se.Close()
+
+	const nSessions = 4
+	results := make([][]any, nSessions)
+	errs := make([]error, nSessions)
+	done := make(chan int, nSessions)
+	for s := 0; s < nSessions; s++ {
+		go func(s int) {
+			ss := se.NewSession()
+			results[s], errs[s] = ss.RunOps(ops)
+			done <- s
+		}(s)
+	}
+	for s := 0; s < nSessions; s++ {
+		<-done
+	}
+	for s := 0; s < nSessions; s++ {
+		if errs[s] != nil {
+			t.Fatalf("session %d: %v", s, errs[s])
+		}
+		for i, op := range ops {
+			if !reflect.DeepEqual(results[s][i], want[i]) {
+				t.Errorf("session %d op %s: result differs from unsharded", s, op.Name())
+			}
+		}
+	}
+}
+
+// TestShardedSpansAndAccounting checks the coordinator's metric merge:
+// critical-path totals, summed device stats, and summed residency.
+func TestShardedSpansAndAccounting(t *testing.T) {
+	files, d, _ := corpus(t, 55, 6, 250, 30)
+	gs, err := sequitur.InferShards(files, uint32(d.Len()), 3)
+	if err != nil {
+		t.Fatalf("InferShards: %v", err)
+	}
+	se, err := NewSharded(gs, d, Options{Sequences: true})
+	if err != nil {
+		t.Fatalf("NewSharded: %v", err)
+	}
+	defer se.Close()
+	if se.NumShards() != 3 {
+		t.Fatalf("NumShards = %d, want 3", se.NumShards())
+	}
+	if got := se.DocBases(); len(got) != 3 || got[0] != 0 {
+		t.Fatalf("DocBases = %v", got)
+	}
+
+	init := se.InitSpan()
+	if init.Total() <= 0 {
+		t.Error("init span not measured")
+	}
+	var maxInit, sumInit int64
+	var sumNVM int64
+	for i := 0; i < se.NumShards(); i++ {
+		tot := int64(se.Shard(i).InitSpan().Total())
+		sumInit += tot
+		if tot > maxInit {
+			maxInit = tot
+		}
+		sumNVM += se.Shard(i).NVMBytes()
+	}
+	if got := int64(init.Total()); got != maxInit {
+		t.Errorf("init Total = %d, want critical path %d", got, maxInit)
+	}
+	if init.Device.ModeledNanos <= 0 {
+		t.Error("init span lost device work")
+	}
+	if se.NVMBytes() != sumNVM {
+		t.Errorf("NVMBytes = %d, want summed %d", se.NVMBytes(), sumNVM)
+	}
+	if se.DRAMBytes() <= 0 {
+		t.Error("DRAMBytes not positive")
+	}
+
+	if _, err := se.WordCount(); err != nil {
+		t.Fatalf("WordCount: %v", err)
+	}
+	trav := se.LastTraversalSpan()
+	var maxTrav int64
+	for i := 0; i < se.NumShards(); i++ {
+		if tot := int64(se.Shard(i).LastTraversalSpan().Total()); tot > maxTrav {
+			maxTrav = tot
+		}
+	}
+	if got := int64(trav.Total()); got < maxTrav {
+		t.Errorf("traversal Total %d below slowest shard %d", got, maxTrav)
+	}
+	if trav.Device.ModeledNanos <= 0 {
+		t.Error("traversal span lost device work")
+	}
+	if st := se.DeviceStats(); st.ModeledNanos <= 0 {
+		t.Error("DeviceStats not summed")
+	}
+}
+
+// TestReopenSharded crashes every shard device and recovers the sharded
+// engine from them, checking results and stamp validation.
+func TestReopenSharded(t *testing.T) {
+	files, d, _ := corpus(t, 56, 4, 200, 25)
+	gs, err := sequitur.InferShards(files, uint32(d.Len()), 2)
+	if err != nil {
+		t.Fatalf("InferShards: %v", err)
+	}
+	se, err := NewSharded(gs, d, Options{Sequences: true})
+	if err != nil {
+		t.Fatalf("NewSharded: %v", err)
+	}
+	want, err := se.WordCount()
+	if err != nil {
+		t.Fatalf("WordCount: %v", err)
+	}
+	devs := make([]*nvm.SimDevice, se.NumShards())
+	for i := range devs {
+		devs[i] = se.Shard(i).Device()
+		if err := devs[i].Crash(); err != nil {
+			t.Fatalf("Crash shard %d: %v", i, err)
+		}
+	}
+	re, infos, err := ReopenSharded(devs, d, Options{Sequences: true})
+	if err != nil {
+		t.Fatalf("ReopenSharded: %v", err)
+	}
+	defer re.Close()
+	if len(infos) != 2 {
+		t.Fatalf("got %d recovery infos, want 2", len(infos))
+	}
+	got, err := re.WordCount()
+	if err != nil {
+		t.Fatalf("recovered WordCount: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("recovered sharded word count mismatch")
+	}
+
+	// A reordered device set must be rejected by the shard stamps.
+	for i := range devs {
+		if err := devs[i].Crash(); err != nil {
+			t.Fatalf("Crash shard %d: %v", i, err)
+		}
+	}
+	if _, _, err := ReopenSharded([]*nvm.SimDevice{devs[1], devs[0]}, d, Options{Sequences: true}); !errors.Is(err, ErrShardMismatch) {
+		t.Fatalf("reordered devices: err = %v, want ErrShardMismatch", err)
+	}
+}
+
+// TestNewShardedValidation covers the constructor's error paths.
+func TestNewShardedValidation(t *testing.T) {
+	files, d, g := corpus(t, 57, 2, 100, 20)
+	if _, err := NewSharded(nil, d, Options{}); err == nil {
+		t.Error("no grammars accepted")
+	}
+	// Mismatched ShardDevices length is rejected before any build work.
+	dev := nvm.New(nvm.KindNVM, 1<<20)
+	defer dev.Discard()
+	gs, err := sequitur.InferShards(files, uint32(d.Len()), 2)
+	if err != nil {
+		t.Fatalf("InferShards: %v", err)
+	}
+	if _, err := NewSharded(gs, d, Options{ShardDevices: []*nvm.SimDevice{dev}}); err == nil {
+		t.Error("device/shard count mismatch accepted")
+	}
+	_ = g
+}

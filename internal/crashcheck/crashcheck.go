@@ -101,7 +101,12 @@ type Outcome struct {
 type Point struct {
 	// Event is the persistence-event index the device died at: event Event
 	// and all later flushes and drains failed.
-	Event    int64
+	Event int64
+	// Shard is the shard whose device was armed (RunSharded explorations
+	// only; zero for unsharded runs).  The other shards' devices stay
+	// healthy, so the point exercises recovery with some shards fully
+	// drained and one interrupted mid-stream.
+	Shard    int
 	Outcomes []Outcome
 }
 

@@ -68,6 +68,74 @@ func TestSeqCountCrashPoints(t *testing.T) {
 	}
 }
 
+// TestShardedCrashPoints explores the sharded engine: for each point one
+// shard's device fails mid-stream while the others drain, and recovery must
+// hold per shard — with the merged per-shard results matching the global
+// reference bit for bit.
+func TestShardedCrashPoints(t *testing.T) {
+	points := 6
+	if testing.Short() {
+		points = 3
+	}
+	for _, p := range []core.Persistence{core.PhaseLevel, core.OpLevel} {
+		t.Run(p.String(), func(t *testing.T) {
+			rep, err := RunSharded(Config{
+				Persistence: p,
+				Points:      points,
+				Subsets:     2,
+				Seed:        17,
+			}, 2)
+			if err != nil {
+				t.Fatalf("RunSharded: %v", err)
+			}
+			if rep.TotalEvents == 0 {
+				t.Fatal("golden sharded run recorded no persistence events")
+			}
+			if len(rep.Points) == 0 {
+				t.Fatal("no crash points explored")
+			}
+			shardsSeen := map[int]bool{}
+			for _, pt := range rep.Points {
+				shardsSeen[pt.Shard] = true
+				for _, o := range pt.Outcomes {
+					for _, v := range o.Violations {
+						t.Errorf("shard %d event %d subset %s: %s", pt.Shard, pt.Event, o.Subset, v)
+					}
+				}
+			}
+			if len(shardsSeen) != 2 {
+				t.Errorf("explored shards %v, want both of 2", shardsSeen)
+			}
+		})
+	}
+}
+
+// TestShardedSeqCountCrashPoints spot-checks sequence analytics across a
+// sharded crash: per-shard results are Seq-keyed, so the merge must not need
+// the (dead) shard-local sequence dictionaries.
+func TestShardedSeqCountCrashPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sequence exploration skipped in -short")
+	}
+	rep, err := RunSharded(Config{
+		Task:        "seqcount",
+		Persistence: core.OpLevel,
+		Points:      4,
+		Subsets:     2,
+		Seed:        29,
+	}, 3)
+	if err != nil {
+		t.Fatalf("RunSharded: %v", err)
+	}
+	for _, pt := range rep.Points {
+		for _, o := range pt.Outcomes {
+			for _, v := range o.Violations {
+				t.Errorf("shard %d event %d subset %s: %s", pt.Shard, pt.Event, o.Subset, v)
+			}
+		}
+	}
+}
+
 // TestBrokenRecoveryIsCaught proves the harness has teeth: with the
 // pool-epoch guard in opLog.pending disabled, records superseded by the
 // final checkpoint are double-replayed onto the committed table, and the

@@ -99,7 +99,10 @@ func Parallelism() int { return parallelism }
 // ForEachCell runs fn(i) for every i in [0, n), at most Parallelism() cells
 // concurrently, and returns the first error by cell order.  Callers store
 // results indexed by i and print them serially afterwards, so output is
-// byte-identical to a serial run.
+// byte-identical to a serial run.  The first error cancels the rest of the
+// grid: cells not yet started (queued behind the concurrency limit) are
+// skipped, so a failing experiment aborts promptly instead of grinding
+// through the remaining cells.
 func ForEachCell(n int, fn func(i int) error) error {
 	if parallelism <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
@@ -111,15 +114,29 @@ func ForEachCell(n int, fn func(i int) error) error {
 	}
 	errs := make([]error, n)
 	sem := make(chan struct{}, parallelism)
+	done := make(chan struct{})
+	var failed sync.Once
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			errs[i] = fn(i)
-		}(i)
+		select {
+		case <-done:
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				// The slot may have won the race against cancellation.
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Do(func() { close(done) })
+				}
+			}(i)
+		}
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -356,6 +373,54 @@ func RunFusedComparison(c *Corpus, ops []analytics.Op, opts core.Options) (Fused
 		return FusedCell{}, err
 	}
 	return cell, nil
+}
+
+// ShardCell is one K point of the shard-scaling experiment: the corpus
+// compressed into K independent shards, built in parallel, with the fused
+// batch scattered across the shards.  Modeled times are critical-path times
+// (the slowest shard, plus the coordinator's merge for the traversal);
+// Symbols is the total grammar size across shards, which grows with K since
+// redundancy spanning shards is no longer shared.
+type ShardCell struct {
+	K          int
+	BuildTotal time.Duration // parallel per-shard build, critical path
+	TravTotal  time.Duration // fused batch traversal, critical path + merge
+	Symbols    int64         // total rule-body symbols across shards
+	NVMBytes   int64         // total pool residency across shards
+}
+
+// RunShardScaling partitions the corpus into k document shards, builds a
+// sharded N-TADOC engine (one grammar, device, and pool per shard, built
+// concurrently), and runs ops as one fused scatter-gather batch.
+func RunShardScaling(c *Corpus, ops []analytics.Op, k int, opts core.Options) (ShardCell, error) {
+	for _, op := range ops {
+		opts.Sequences = opts.Sequences || op.Keys() == analytics.KeySequences
+	}
+	gs, err := sequitur.InferShards(c.Files, uint32(c.Dict.Len()), k)
+	if err != nil {
+		return ShardCell{}, err
+	}
+	var symbols int64
+	for _, g := range gs {
+		for _, body := range g.Rules {
+			symbols += int64(len(body))
+		}
+	}
+	se, err := core.NewSharded(gs, c.Dict, opts)
+	if err != nil {
+		return ShardCell{}, err
+	}
+	defer se.Close()
+	if _, err := se.RunOps(ops); err != nil {
+		return ShardCell{}, err
+	}
+	return ShardCell{
+		K:          len(gs),
+		BuildTotal: se.InitSpan().Total(),
+		TravTotal:  se.LastTraversalSpan().Total(),
+		Symbols:    symbols,
+		NVMBytes:   se.NVMBytes(),
+	}, nil
 }
 
 // GeoMean returns the geometric mean of positive ratios.

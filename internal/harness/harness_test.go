@@ -1,8 +1,11 @@
 package harness
 
 import (
+	"errors"
 	"math"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/text-analytics/ntadoc/internal/analytics"
 	"github.com/text-analytics/ntadoc/internal/core"
@@ -129,6 +132,85 @@ func TestDiskReadNanosScalesWithBytes(t *testing.T) {
 	big := diskReadNanos(40960)
 	if !(small > 0 && big >= 9*small) {
 		t.Errorf("diskReadNanos: 4K=%v 40K=%v", small, big)
+	}
+}
+
+// TestRunShardScaling checks the shard-scaling runner's invariants: more
+// shards mean a bigger grammar (lost cross-shard redundancy) but a shorter
+// critical path.
+func TestRunShardScaling(t *testing.T) {
+	// Dataset A is a single file (unshardable); B is many small files.
+	c, err := GetCorpus(datagen.DatasetB.Scaled(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := analytics.Ops()
+	base, err := RunShardScaling(c, ops, 1, core.Options{})
+	if err != nil {
+		t.Fatalf("RunShardScaling(1): %v", err)
+	}
+	cell, err := RunShardScaling(c, ops, 4, core.Options{})
+	if err != nil {
+		t.Fatalf("RunShardScaling(4): %v", err)
+	}
+	if base.K != 1 || cell.K != 4 {
+		t.Fatalf("K = %d, %d; want 1, 4", base.K, cell.K)
+	}
+	if cell.Symbols < base.Symbols {
+		t.Errorf("4-shard grammar smaller (%d) than unsharded (%d)", cell.Symbols, base.Symbols)
+	}
+	if cell.TravTotal >= base.TravTotal {
+		t.Errorf("4-shard traversal %v not faster than unsharded %v", cell.TravTotal, base.TravTotal)
+	}
+	if cell.BuildTotal <= 0 || cell.NVMBytes <= 0 {
+		t.Errorf("cell = %+v", cell)
+	}
+}
+
+// TestForEachCellCancelsOnError checks the first error stops the grid:
+// queued cells never start, and the error propagates.
+func TestForEachCellCancelsOnError(t *testing.T) {
+	old := Parallelism()
+	SetParallelism(2)
+	defer SetParallelism(old)
+
+	boom := errors.New("boom")
+	var failed atomic.Bool
+	var ranAfter atomic.Int32
+	err := ForEachCell(40, func(i int) error {
+		if failed.Load() {
+			ranAfter.Add(1)
+		}
+		if i == 0 {
+			failed.Store(true)
+			return boom
+		}
+		time.Sleep(2 * time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The failing cell closes the cancel channel before releasing its
+	// concurrency slot, so at most parallelism-1 cells can be past the
+	// cancellation check when the failure lands; everything queued after
+	// must be skipped.
+	if got := ranAfter.Load(); got > 1 {
+		t.Errorf("%d cells started after the failure, want at most 1", got)
+	}
+
+	// The serial path stops at the failing cell too.
+	SetParallelism(1)
+	var ran atomic.Int32
+	err = ForEachCell(8, func(i int) error {
+		if i == 2 {
+			return boom
+		}
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, boom) || ran.Load() != 2 {
+		t.Errorf("serial: err = %v, ran = %d; want boom, 2", err, ran.Load())
 	}
 }
 

@@ -77,6 +77,13 @@ type Span struct {
 	Device   nvm.Stats
 	CPUNanos int64
 
+	// CriticalNanos, when non-zero, is the critical-path total of phases
+	// that executed in parallel (set by MergeParallel): the span's Total.
+	// Device and CPUNanos then hold the summed work of all lanes — the
+	// right aggregates for endurance and energy accounting — while Total
+	// reports the elapsed modeled time of the slowest lane.
+	CriticalNanos int64
+
 	started time.Time
 	base    nvm.Stats
 	baseCPU int64
@@ -116,8 +123,46 @@ func (s Span) Modeled() time.Duration {
 // CPU returns the modeled CPU time of the span.
 func (s Span) CPU() time.Duration { return time.Duration(s.CPUNanos) }
 
-// Total returns modeled device + modeled CPU time, the headline metric.
-func (s Span) Total() time.Duration { return s.Modeled() + s.CPU() }
+// Total returns modeled device + modeled CPU time, the headline metric —
+// or, for a parallel-merged span, the critical path across its lanes.
+func (s Span) Total() time.Duration {
+	if s.CriticalNanos > 0 {
+		return time.Duration(s.CriticalNanos)
+	}
+	return s.Modeled() + s.CPU()
+}
+
+// MergeParallel aggregates the spans of work that executed concurrently —
+// one lane per shard.  The merged Total is the slowest lane's Total (the
+// parallel phase ends when the last shard finishes); device statistics and
+// CPU nanos are summed across lanes, preserving totals for read/write and
+// endurance accounting; Wall is the maximum, matching how the lanes
+// actually overlapped.
+func MergeParallel(spans ...Span) Span {
+	var out Span
+	for _, sp := range spans {
+		if sp.Wall > out.Wall {
+			out.Wall = sp.Wall
+		}
+		out.Device = out.Device.Add(sp.Device)
+		out.CPUNanos += sp.CPUNanos
+		if t := int64(sp.Total()); t > out.CriticalNanos {
+			out.CriticalNanos = t
+		}
+	}
+	return out
+}
+
+// AddSerial extends a span with work that ran after its parallel lanes
+// completed (the coordinator's merge step): serial nanos extend the
+// critical path as well as the CPU account.
+func (s Span) AddSerial(cpuNanos int64) Span {
+	s.CPUNanos += cpuNanos
+	if s.CriticalNanos > 0 {
+		s.CriticalNanos += cpuNanos
+	}
+	return s
+}
 
 // Breakdown records per-phase spans for one task run (Table II).
 type Breakdown struct {

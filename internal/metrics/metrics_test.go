@@ -110,3 +110,28 @@ func TestMemEstimates(t *testing.T) {
 		t.Errorf("StringsBytes = %d", StringsBytes(2, 100))
 	}
 }
+
+func TestMergeParallel(t *testing.T) {
+	a := Span{CPUNanos: 100, Device: nvm.Stats{ModeledNanos: 400, Reads: 3, BytesRead: 64}}
+	b := Span{CPUNanos: 900, Device: nvm.Stats{ModeledNanos: 100, Reads: 1, BytesRead: 16}}
+	m := MergeParallel(a, b)
+	// Critical path is the slowest lane (b: 1000ns), not the sum (1500ns).
+	if m.Total() != 1000 {
+		t.Errorf("Total = %v, want 1000ns critical path", m.Total())
+	}
+	// Work accounts sum across lanes.
+	if m.CPUNanos != 1000 || m.Device.ModeledNanos != 500 {
+		t.Errorf("summed work = cpu %d dev %d, want 1000/500", m.CPUNanos, m.Device.ModeledNanos)
+	}
+	if m.Device.Reads != 4 || m.Device.BytesRead != 80 {
+		t.Errorf("device stats = %+v, want summed reads", m.Device)
+	}
+	// Serial merge work extends the critical path.
+	if got := m.AddSerial(50).Total(); got != 1050 {
+		t.Errorf("AddSerial Total = %v, want 1050ns", got)
+	}
+	// A single-lane merge preserves the lane's total.
+	if got := MergeParallel(a).Total(); got != a.Total() {
+		t.Errorf("single-lane Total = %v, want %v", got, a.Total())
+	}
+}

@@ -18,7 +18,8 @@ import (
 //	off  size  field
 //	0    8     magic "NTADOCPM"
 //	8    4     version
-//	12   4     flags (reserved)
+//	12   4     shard stamp: index (low 16 bits) | count (high 16 bits);
+//	           zero for an unsharded pool
 //	16   8     pool size
 //	24   8     allocation top (watermark)
 //	32   4     last completed checkpoint phase
@@ -34,6 +35,7 @@ const (
 
 	offMagic   = 0
 	offVersion = 8
+	offShard   = 12 // flags word: shard index (low 16) | shard count (high 16)
 	offSize    = 16
 	offTop     = 24
 	offPhase   = 32
@@ -77,6 +79,12 @@ type Options struct {
 	// persistence.  Zero defaults to 1 MiB.  The log is carved out of the
 	// pool itself, immediately after the header.
 	LogCap int64
+	// Shard and ShardCount stamp the pool as shard Shard of a ShardCount-way
+	// sharded engine (both zero for an unsharded pool).  The stamp is part
+	// of the checksummed header: sharded recovery uses it to reject a device
+	// set whose pools were built for different positions or set sizes.
+	Shard      uint32
+	ShardCount uint32
 }
 
 // Create formats a new pool covering the whole device and returns it.  Any
@@ -91,6 +99,12 @@ func Create(dev nvm.Device, opts Options) (*Pool, error) {
 	if size < headerSize+logCap+logHeaderSize {
 		return nil, fmt.Errorf("%w: device size %d too small", ErrOutOfSpace, size)
 	}
+	if opts.ShardCount >= 1<<16 || opts.Shard >= 1<<16 {
+		return nil, fmt.Errorf("pmem: shard stamp %d/%d out of range", opts.Shard, opts.ShardCount)
+	}
+	if opts.ShardCount > 0 && opts.Shard >= opts.ShardCount {
+		return nil, fmt.Errorf("pmem: shard index %d outside count %d", opts.Shard, opts.ShardCount)
+	}
 	p := &Pool{
 		dev:    dev,
 		acc:    nvm.NewAccessor(dev, 0, size),
@@ -101,6 +115,7 @@ func Create(dev nvm.Device, opts Options) (*Pool, error) {
 	}
 	p.acc.WriteBytes(offMagic, magic[:])
 	p.acc.PutUint32(offVersion, poolVersion)
+	p.acc.PutUint32(offShard, opts.Shard|opts.ShardCount<<16)
 	p.acc.PutUint64(offSize, uint64(size))
 	p.acc.PutUint64(offTop, uint64(p.top))
 	p.acc.PutUint32(offPhase, 0)
@@ -252,6 +267,13 @@ func (p *Pool) Root(i int) (int64, error) {
 // AccessorAt returns an accessor for an arbitrary allocated region, used to
 // reattach to structures found via root slots after reopening a pool.
 func (p *Pool) AccessorAt(off, n int64) nvm.Accessor { return p.acc.Slice(off, n) }
+
+// Shard returns the pool's shard stamp: its position and the shard count of
+// the engine set it was created for.  Both are zero for an unsharded pool.
+func (p *Pool) Shard() (index, count uint32) {
+	v := p.acc.Uint32(offShard)
+	return v & 0xffff, v >> 16
+}
 
 // Phase returns the last durably completed checkpoint phase, 0 if none.
 func (p *Pool) Phase() uint32 { return p.acc.Uint32(offPhase) }

@@ -1,0 +1,51 @@
+package pmem
+
+import (
+	"testing"
+
+	"github.com/text-analytics/ntadoc/internal/nvm"
+)
+
+// TestShardStampRoundTrip checks the stamp survives create/checkpoint/open
+// and that unsharded pools read back as 0/0.
+func TestShardStampRoundTrip(t *testing.T) {
+	dev := nvm.New(nvm.KindNVM, 1<<20)
+	defer dev.Discard()
+	p, err := Create(dev, Options{LogCap: 4096, Shard: 2, ShardCount: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx, cnt := p.Shard(); idx != 2 || cnt != 4 {
+		t.Fatalf("Shard() = %d/%d, want 2/4", idx, cnt)
+	}
+	must(t, p.Checkpoint(1))
+	reopened, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx, cnt := reopened.Shard(); idx != 2 || cnt != 4 {
+		t.Fatalf("reopened Shard() = %d/%d, want 2/4", idx, cnt)
+	}
+
+	plain := nvm.New(nvm.KindNVM, 1<<20)
+	defer plain.Discard()
+	q, err := Create(plain, Options{LogCap: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx, cnt := q.Shard(); idx != 0 || cnt != 0 {
+		t.Fatalf("unsharded Shard() = %d/%d, want 0/0", idx, cnt)
+	}
+}
+
+// TestShardStampValidation rejects out-of-range stamps at creation.
+func TestShardStampValidation(t *testing.T) {
+	dev := nvm.New(nvm.KindNVM, 1<<20)
+	defer dev.Discard()
+	if _, err := Create(dev, Options{LogCap: 4096, Shard: 4, ShardCount: 4}); err == nil {
+		t.Fatal("index == count accepted")
+	}
+	if _, err := Create(dev, Options{LogCap: 4096, Shard: 0, ShardCount: 1 << 16}); err == nil {
+		t.Fatal("oversized count accepted")
+	}
+}

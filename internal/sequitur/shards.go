@@ -1,0 +1,94 @@
+package sequitur
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/text-analytics/ntadoc/internal/cfg"
+)
+
+// Sharded inference: the file separators that already isolate documents in
+// a single grammar (rules never span file boundaries) make whole files the
+// natural shard boundary, so a corpus can be split into K contiguous file
+// spans and compressed into K fully independent grammars concurrently.
+// Cross-shard redundancy is deliberately given up — each shard only
+// deduplicates within itself — which is the compression-ratio cost a
+// sharded engine trades for parallel build and query.
+
+// PartitionFiles splits n files into at most k contiguous spans, balanced
+// by weight (each span closes once the running total crosses its share of
+// the remaining weight).  Every span is non-empty; fewer than k spans are
+// returned when n < k.  Spans are [start, end) file-index pairs.
+func PartitionFiles(weights []int64, k int) [][2]int {
+	n := len(weights)
+	if k > n {
+		k = n
+	}
+	if k <= 1 {
+		if n == 0 {
+			return nil
+		}
+		return [][2]int{{0, n}}
+	}
+	var total int64
+	for _, w := range weights {
+		total += w
+	}
+	spans := make([][2]int, 0, k)
+	start, acc := 0, int64(0)
+	for i, w := range weights {
+		acc += w
+		remainingShards := k - len(spans)
+		// Close the span when it reaches an equal share of what is left,
+		// but never so late that the remaining files cannot fill the
+		// remaining shards one file each.
+		mustClose := n-i-1 <= remainingShards-1
+		share := total / int64(remainingShards)
+		if remainingShards > 1 && (mustClose || acc >= share) {
+			spans = append(spans, [2]int{start, i + 1})
+			start = i + 1
+			total -= acc
+			acc = 0
+		}
+	}
+	if start < n {
+		spans = append(spans, [2]int{start, n})
+	}
+	return spans
+}
+
+// InferShards partitions the corpus into k contiguous file spans balanced
+// by token count and infers one independent grammar per span, concurrently.
+// shards[s] covers global files [spans[s][0], spans[s][1]); fewer than k
+// shards are returned when the corpus has fewer than k files.
+func InferShards(tokens [][]uint32, numWords uint32, k int) ([]*cfg.Grammar, error) {
+	if k <= 1 || len(tokens) <= 1 {
+		g, err := Infer(tokens, numWords)
+		if err != nil {
+			return nil, err
+		}
+		return []*cfg.Grammar{g}, nil
+	}
+	weights := make([]int64, len(tokens))
+	for i, f := range tokens {
+		weights[i] = int64(len(f)) + 1 // +1 keeps empty files from collapsing spans
+	}
+	spans := PartitionFiles(weights, k)
+	shards := make([]*cfg.Grammar, len(spans))
+	errs := make([]error, len(spans))
+	var wg sync.WaitGroup
+	for s, span := range spans {
+		wg.Add(1)
+		go func(s int, span [2]int) {
+			defer wg.Done()
+			shards[s], errs[s] = Infer(tokens[span[0]:span[1]], numWords)
+		}(s, span)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	return shards, nil
+}

@@ -1,0 +1,96 @@
+package sequitur
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/text-analytics/ntadoc/internal/cfg"
+)
+
+func TestPartitionFiles(t *testing.T) {
+	cases := []struct {
+		weights []int64
+		k       int
+		want    [][2]int
+	}{
+		{nil, 4, nil},
+		{[]int64{5}, 4, [][2]int{{0, 1}}},
+		{[]int64{1, 1, 1, 1}, 2, [][2]int{{0, 2}, {2, 4}}},
+		{[]int64{1, 1, 1, 1}, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}},
+		{[]int64{100, 1, 1, 1}, 2, [][2]int{{0, 1}, {1, 4}}},
+		{[]int64{1, 1, 1, 100}, 2, [][2]int{{0, 3}, {3, 4}}},
+	}
+	for _, c := range cases {
+		got := PartitionFiles(c.weights, c.k)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("PartitionFiles(%v, %d) = %v, want %v", c.weights, c.k, got, c.want)
+		}
+	}
+	// Spans always cover [0, n) contiguously with at most k non-empty spans.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		k := 1 + rng.Intn(8)
+		weights := make([]int64, n)
+		for i := range weights {
+			weights[i] = int64(rng.Intn(500))
+		}
+		spans := PartitionFiles(weights, k)
+		if len(spans) == 0 || len(spans) > k {
+			t.Fatalf("n=%d k=%d: %d spans", n, k, len(spans))
+		}
+		next := 0
+		for _, sp := range spans {
+			if sp[0] != next || sp[1] <= sp[0] {
+				t.Fatalf("n=%d k=%d: bad span %v in %v", n, k, sp, spans)
+			}
+			next = sp[1]
+		}
+		if next != n {
+			t.Fatalf("n=%d k=%d: spans %v do not cover %d files", n, k, spans, n)
+		}
+	}
+}
+
+// TestInferShardsRoundTrip checks every shard grammar is valid and the
+// shard expansions concatenate back to the input corpus.
+func TestInferShardsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const vocab = 25
+	files := make([][]uint32, 7)
+	for i := range files {
+		n := 20 + rng.Intn(120)
+		files[i] = make([]uint32, n)
+		for j := range files[i] {
+			files[i][j] = uint32(rng.Intn(vocab))
+		}
+	}
+	for _, k := range []int{1, 2, 3, 4, 9} {
+		shards, err := InferShards(files, vocab, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if k > 1 && len(shards) < 2 {
+			t.Fatalf("k=%d: got %d shards", k, len(shards))
+		}
+		var got [][]uint32
+		for s, g := range shards {
+			if err := g.Validate(); err != nil {
+				t.Fatalf("k=%d shard %d invalid: %v", k, s, err)
+			}
+			got = append(got, g.ExpandFiles()...)
+		}
+		if !reflect.DeepEqual(got, files) {
+			t.Fatalf("k=%d: sharded expansion differs from input", k)
+		}
+		// The merged view must expand identically too.
+		merged, err := cfg.ConcatShards(shards)
+		if err != nil {
+			t.Fatalf("k=%d: concat: %v", k, err)
+		}
+		if !reflect.DeepEqual(merged.ExpandFiles(), files) {
+			t.Fatalf("k=%d: merged expansion differs from input", k)
+		}
+	}
+}

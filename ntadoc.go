@@ -41,9 +41,15 @@ type Document struct {
 
 // Archive is a compressed document collection: the TADOC grammar plus its
 // dictionary.  Archives serialize with WriteTo and load with ReadArchive.
+//
+// A sharded archive (CompressSharded) additionally keeps one independent
+// grammar per shard; the whole-corpus grammar is their concatenation.  The
+// shard boundary is whole documents, so every document lives in exactly one
+// shard and sharded analytics merge to bit-identical results.
 type Archive struct {
-	g *cfg.Grammar
-	d *dict.Dictionary
+	g      *cfg.Grammar
+	d      *dict.Dictionary
+	shards []*cfg.Grammar // nil for an unsharded archive
 }
 
 // Compress builds an archive from documents.  Tokenization lowercases and
@@ -76,6 +82,66 @@ func compress(tokens [][]uint32, names []string, d *dict.Dictionary) (*Archive, 
 		return nil, err
 	}
 	return &Archive{g: g, d: d}, nil
+}
+
+// CompressSharded builds a K-way sharded archive: documents are partitioned
+// into K contiguous shards of balanced token weight and each shard is
+// compressed independently (in parallel), so engines can build and query the
+// shards concurrently.  Sharding trades some compression for parallelism —
+// redundancy spanning shards is not shared — and k = 1 (or a single
+// document) degenerates to Compress.
+func CompressSharded(docs []Document, k int) (*Archive, error) {
+	d := dict.New()
+	var tk dict.Tokenizer
+	tokens := make([][]uint32, len(docs))
+	names := make([]string, len(docs))
+	for i, doc := range docs {
+		tokens[i] = tk.EncodeString(d, doc.Text)
+		names[i] = doc.Name
+	}
+	return compressSharded(tokens, names, d, k)
+}
+
+// CompressTokensSharded is CompressSharded over pre-tokenized documents.
+func CompressTokensSharded(tokens [][]uint32, names []string, dct *Dictionary, k int) (*Archive, error) {
+	return compressSharded(tokens, names, dct.d, k)
+}
+
+func compressSharded(tokens [][]uint32, names []string, d *dict.Dictionary, k int) (*Archive, error) {
+	if k <= 1 {
+		return compress(tokens, names, d)
+	}
+	gs, err := sequitur.InferShards(tokens, uint32(d.Len()), k)
+	if err != nil {
+		return nil, fmt.Errorf("ntadoc: compress sharded: %w", err)
+	}
+	if len(gs) == 1 {
+		gs[0].Files = names
+		if err := gs[0].Validate(); err != nil {
+			return nil, err
+		}
+		return &Archive{g: gs[0], d: d}, nil
+	}
+	base := uint32(0)
+	for _, g := range gs {
+		if names != nil {
+			g.Files = names[base : base+g.NumFiles]
+		}
+		base += g.NumFiles
+	}
+	merged, err := cfg.ConcatShards(gs)
+	if err != nil {
+		return nil, fmt.Errorf("ntadoc: compress sharded: %w", err)
+	}
+	return &Archive{g: merged, d: d, shards: gs}, nil
+}
+
+// NumShards returns the archive's shard count (1 when unsharded).
+func (a *Archive) NumShards() int {
+	if a.shards == nil {
+		return 1
+	}
+	return len(a.shards)
 }
 
 // Dictionary wraps the word <-> ID mapping for use with CompressTokens.
@@ -148,10 +214,17 @@ func (a *Archive) Decompress() []Document {
 
 // WriteTo serializes the archive: a length-prefixed grammar section
 // followed by the dictionary.  The length prefix lets the reader bound the
-// grammar parser's buffering exactly.
+// grammar parser's buffering exactly.  A sharded archive's grammar section
+// is the shard container (one self-checksummed grammar per shard); an
+// unsharded archive's is a single grammar, byte-compatible with earlier
+// versions.
 func (a *Archive) WriteTo(w io.Writer) (int64, error) {
 	var gbuf bytes.Buffer
-	if _, err := a.g.WriteTo(&gbuf); err != nil {
+	if a.shards != nil {
+		if _, err := cfg.WriteShards(&gbuf, a.shards); err != nil {
+			return 0, err
+		}
+	} else if _, err := a.g.WriteTo(&gbuf); err != nil {
 		return 0, err
 	}
 	var hdr [8]byte
@@ -169,17 +242,40 @@ func (a *Archive) WriteTo(w io.Writer) (int64, error) {
 }
 
 // ReadArchive loads an archive written by WriteTo, validating both parts.
+// The grammar section's leading magic selects between the single-grammar
+// and shard-container formats.
 func ReadArchive(r io.Reader) (*Archive, error) {
 	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("ntadoc: archive header: %w", err)
 	}
 	gLen := int64(binary.LittleEndian.Uint64(hdr[:]))
-	if gLen <= 0 || gLen > 1<<40 {
+	if gLen < 8 || gLen > 1<<40 {
 		return nil, fmt.Errorf("ntadoc: absurd grammar section length %d", gLen)
 	}
-	g, err := cfg.ReadGrammar(io.LimitReader(r, gLen))
-	if err != nil {
+	// Peek the section magic to dispatch without disturbing the section
+	// reader's byte accounting.
+	var peek [8]byte
+	if _, err := io.ReadFull(r, peek[:]); err != nil {
+		return nil, fmt.Errorf("ntadoc: grammar section: %w", err)
+	}
+	section := io.MultiReader(bytes.NewReader(peek[:]), io.LimitReader(r, gLen-8))
+	var (
+		g      *cfg.Grammar
+		shards []*cfg.Grammar
+		err    error
+	)
+	if cfg.IsShardContainer(peek[:]) {
+		shards, err = cfg.ReadShards(section)
+		if err != nil {
+			return nil, err
+		}
+		if len(shards) == 1 {
+			g, shards = shards[0], nil
+		} else if g, err = cfg.ConcatShards(shards); err != nil {
+			return nil, err
+		}
+	} else if g, err = cfg.ReadGrammar(section); err != nil {
 		return nil, err
 	}
 	d := dict.New()
@@ -189,7 +285,7 @@ func ReadArchive(r io.Reader) (*Archive, error) {
 	if uint32(d.Len()) < g.NumWords {
 		return nil, fmt.Errorf("ntadoc: dictionary (%d words) smaller than grammar vocabulary (%d)", d.Len(), g.NumWords)
 	}
-	return &Archive{g: g, d: d}, nil
+	return &Archive{g: g, d: d, shards: shards}, nil
 }
 
 // WriteDOT renders the archive's grammar DAG in Graphviz DOT format, with
