@@ -3,7 +3,7 @@ GO ?= go
 # Seconds of coverage-guided fuzzing per target in fuzz-smoke.
 FUZZTIME ?= 20s
 
-.PHONY: all build vet test race bench-smoke errcheck crashcheck fuzz-smoke check
+.PHONY: all build vet staticcheck test race bench-smoke errcheck crashcheck fuzz-smoke check
 
 all: check
 
@@ -12,6 +12,16 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet.  CI installs staticcheck; locally the target
+# skips with a notice when the binary is absent rather than failing the
+# whole gate on a missing tool.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo 'staticcheck: not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)'; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -52,4 +62,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzCompressRoundTrip$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzOpLogRecovery$$' -fuzztime $(FUZZTIME) ./internal/core
 
-check: build vet errcheck test race bench-smoke crashcheck fuzz-smoke
+check: build vet staticcheck errcheck test race bench-smoke crashcheck fuzz-smoke

@@ -668,15 +668,16 @@ func figShards(specs []datagen.Spec) error {
 		return err
 	}
 	w := newTab()
-	fmt.Fprintln(w, "dataset\tshards\tbuild\tbatch traversal\tbuild speedup\tbatch speedup\tsymbols\tcompression delta")
+	fmt.Fprintln(w, "dataset\tshards\tbuild\tbatch traversal\tbuild speedup\tbatch speedup\traw symbols\tdedup symbols\tshared rules\tdedup delta")
 	for si, spec := range sel {
 		base := cells[si*len(ks)]
 		for ki := range ks {
 			cell := cells[si*len(ks)+ki]
-			fmt.Fprintf(w, "%s\t%d\t%.2f ms\t%.2f ms\t%.2fx\t%.2fx\t%d\t%+.1f%%\n",
+			fmt.Fprintf(w, "%s\t%d\t%.2f ms\t%.2f ms\t%.2fx\t%.2fx\t%d\t%d\t%d\t%+.1f%%\n",
 				spec.Name, cell.K, ms(cell.BuildTotal), ms(cell.TravTotal),
 				ratio(base.BuildTotal, cell.BuildTotal), ratio(base.TravTotal, cell.TravTotal),
-				cell.Symbols, (float64(cell.Symbols)/float64(base.Symbols)-1)*100)
+				cell.Symbols, cell.DedupSymbols, cell.SharedRules,
+				(float64(cell.DedupSymbols)/float64(base.DedupSymbols)-1)*100)
 		}
 	}
 	return w.Flush()

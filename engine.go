@@ -108,6 +108,11 @@ func NewEngine(a *Archive, opts Options) (*Engine, error) {
 		Sequences:   !opts.NoSequences,
 	}
 	if a.shards != nil {
+		if a.shared != nil {
+			// Tie every shard pool to this unified build: recovery rejects a
+			// device set mixing shards of different shared-rule containers.
+			copts.BuildTag = a.shared.Checksum()
+		}
 		sh, err := core.NewSharded(a.shards, a.d, copts)
 		if err != nil {
 			return nil, err

@@ -107,6 +107,69 @@ func TestMergeShardResults(t *testing.T) {
 	}
 }
 
+// TestMergeShardResultsEmptyFold checks every op's merge when one shard
+// contributes an empty fold: a shard holding no documents (or only empty
+// documents) returns an empty result — an empty map, nil slices, or
+// zero-valued per-file entries depending on the op — and merging it must
+// neither fail nor disturb the other shards' contributions.
+func TestMergeShardResultsEmptyFold(t *testing.T) {
+	files, d := mergeCorpus(t)
+	// splits partition the corpus; a zero entry is a shard with no files.
+	splits := [][]int{
+		{0, 5},       // empty shard first
+		{2, 0, 3},    // empty shard in the middle
+		{5, 0},       // empty shard last
+		{0, 0, 5, 0}, // several empty shards
+	}
+	for _, op := range Ops() {
+		want := shardRefResult(t, op, files, d)
+		for _, split := range splits {
+			var meter metrics.Meter
+			env := mergeEnv{d: d, numFiles: len(files), meter: &meter}
+			var results []any
+			var bases []uint32
+			next := 0
+			for _, n := range split {
+				shard := files[next : next+n]
+				results = append(results, shardRefResult(t, op, shard, d))
+				bases = append(bases, uint32(next))
+				next += n
+			}
+			got, err := MergeShardResults(op, env, results, bases)
+			if err != nil {
+				t.Fatalf("%s split %v: %v", op.Name(), split, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s split %v: merge with empty shard differs from whole-corpus reference\n got %v\nwant %v",
+					op.Name(), split, got, want)
+			}
+		}
+	}
+
+	// A shard whose documents exist but are all empty: its per-file entries
+	// are zero-valued rather than absent, and global document indices must
+	// still land on the right files.
+	padded := [][]uint32{files[0], {}, {}, files[1]}
+	for _, op := range Ops() {
+		want := shardRefResult(t, op, padded, d)
+		var meter metrics.Meter
+		env := mergeEnv{d: d, numFiles: len(padded), meter: &meter}
+		results := []any{
+			shardRefResult(t, op, padded[:1], d),
+			shardRefResult(t, op, padded[1:3], d), // two empty documents
+			shardRefResult(t, op, padded[3:], d),
+		}
+		got, err := MergeShardResults(op, env, results, []uint32{0, 1, 3})
+		if err != nil {
+			t.Fatalf("%s empty-document shard: %v", op.Name(), err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: merge with empty-document shard differs from reference\n got %v\nwant %v",
+				op.Name(), got, want)
+		}
+	}
+}
+
 // TestMergeShardResultsRejectsWrongType ensures a mismatched shard result
 // type surfaces as an error, not a corrupt merge.
 func TestMergeShardResultsRejectsWrongType(t *testing.T) {

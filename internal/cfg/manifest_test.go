@@ -106,3 +106,88 @@ func TestConcatShards(t *testing.T) {
 		t.Fatalf("empty concat error = %v", err)
 	}
 }
+
+// sharedSetFixture unifies the standard shard grammars into a SharedSet.
+func sharedSetFixture(t *testing.T) *SharedSet {
+	t.Helper()
+	shards := shardGrammars(t)
+	fps := make([][]Fingerprint, len(shards))
+	for i, g := range shards {
+		f, err := FingerprintRules(g)
+		if err != nil {
+			t.Fatalf("FingerprintRules: %v", err)
+		}
+		fps[i] = f
+	}
+	set, err := UnifyShards(shards, fps)
+	if err != nil {
+		t.Fatalf("UnifyShards: %v", err)
+	}
+	return set
+}
+
+func TestSharedContainerRoundTrip(t *testing.T) {
+	set := sharedSetFixture(t)
+	var buf bytes.Buffer
+	n, err := WriteSharedSet(&buf, set)
+	if err != nil {
+		t.Fatalf("WriteSharedSet: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteSharedSet reported %d bytes, wrote %d", n, buf.Len())
+	}
+	if !IsShardContainer(buf.Bytes()) || !IsSharedContainer(buf.Bytes()) {
+		t.Fatal("shared container magic not detected")
+	}
+	got, err := ReadSharedSet(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadSharedSet: %v", err)
+	}
+	if !reflect.DeepEqual(got, set) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, set)
+	}
+	// The legacy container must not read as a shared one, nor vice versa.
+	if _, err := ReadShards(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("shared container accepted by legacy reader")
+	}
+	var legacy bytes.Buffer
+	if _, err := WriteShards(&legacy, shardGrammars(t)); err != nil {
+		t.Fatal(err)
+	}
+	if IsSharedContainer(legacy.Bytes()) {
+		t.Fatal("legacy container detected as shared")
+	}
+	if _, err := ReadSharedSet(bytes.NewReader(legacy.Bytes())); err == nil {
+		t.Fatal("legacy container accepted by shared reader")
+	}
+}
+
+func TestSharedContainerDetectsCorruption(t *testing.T) {
+	set := sharedSetFixture(t)
+	var buf bytes.Buffer
+	if _, err := WriteSharedSet(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadSharedSet(bytes.NewReader(data[:len(data)-6])); err == nil {
+		t.Fatal("truncated container accepted")
+	}
+	// Every single-bit flip anywhere in the container must be rejected: the
+	// shared section by its own checksum, the rest by the container's.
+	for off := 0; off < len(data); off++ {
+		corrupt := append([]byte(nil), data...)
+		corrupt[off] ^= 0x01
+		if _, err := ReadSharedSet(bytes.NewReader(corrupt)); err == nil {
+			t.Fatalf("bit flip at offset %d accepted", off)
+		}
+	}
+}
+
+func TestWriteSharedSetRejectsInvalid(t *testing.T) {
+	set := sharedSetFixture(t)
+	set.Shards[0].Root[0] = Rule(uint32(len(set.Shared)) + 5)
+	var buf bytes.Buffer
+	if _, err := WriteSharedSet(&buf, set); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("err = %v, want ErrInvalid", err)
+	}
+}

@@ -25,9 +25,11 @@ type Engine struct {
 	pool *pmem.Pool
 	d    *dict.Dictionary
 
-	numRules uint32
-	numWords uint32
-	numFiles uint32
+	numRules    uint32
+	numWords    uint32
+	numFiles    uint32
+	bodySymbols int64 // total rule-body symbols; planner input, pool-durable
+	mergeWork   int64 // bottom-up list-merge entries; planner input, pool-durable
 
 	metaAcc  nvm.Accessor
 	rootAcc  nvm.Accessor // u64 length + ordered root symbols (u32 each)
@@ -105,6 +107,7 @@ func New(g *cfg.Grammar, d *dict.Dictionary, opts Options) (*Engine, error) {
 		LogCap:     opts.OpLogCap,
 		Shard:      opts.ShardIndex,
 		ShardCount: opts.ShardCount,
+		Tag:        opts.BuildTag,
 	})
 	if err != nil {
 		return nil, err
@@ -119,6 +122,7 @@ func New(g *cfg.Grammar, d *dict.Dictionary, opts Options) (*Engine, error) {
 		numWords: g.NumWords,
 		numFiles: g.NumFiles,
 	}
+	e.bodySymbols, e.mergeWork = planFeatures(g)
 	e.run = exec{e: e, meter: meter}
 	if err := e.initialize(g, prep); err != nil {
 		return nil, err
@@ -212,9 +216,11 @@ func preprocess(g *cfg.Grammar, opts Options) (*prepState, error) {
 	if opts.Sequences {
 		// Head/tail edges suffice for local-window counting; the expensive
 		// cumulative count merge is only performed when the bottom-up
-		// per-file strategy will consume its tables.
-		bottomUp := opts.Strategy == BottomUp ||
-			(opts.Strategy == Auto && g.NumFiles > autoFileThreshold)
+		// per-file strategy will consume its tables.  The planner's decision
+		// here commits the durable table layout, so resolveStrategy must
+		// reach the same answer from the same shape — both are pure
+		// functions of (files, rules, body symbols, merge work).
+		bottomUp := strategyForGrammar(g, opts) == BottomUp
 		var edges []*analytics.SeqInfo
 		if bottomUp {
 			p.infos, err = analytics.ComputeSeqInfo(g)
@@ -396,6 +402,11 @@ func (e *Engine) initialize(g *cfg.Grammar, p *prepState) error {
 	pool.SetRoot(rootNumFiles, int64(e.numFiles))
 	e.distinctWords = p.distinctWords
 	pool.SetRoot(rootDistinct, p.distinctWords)
+	// The planner's shape input must survive recovery: a recovered engine
+	// re-derives the traversal direction its sequence tables were laid out
+	// for from exactly these slots.
+	pool.SetRoot(rootBodySyms, e.bodySymbols)
+	pool.SetRoot(rootMergeWork, e.mergeWork)
 
 	// Static metadata.
 	for ri := range g.Rules {
@@ -760,15 +771,14 @@ func (e *Engine) DRAMBytes() int64 { return e.dramExtra + 4096 }
 // must not be used after Close.
 func (e *Engine) Close() error { return e.dev.Discard() }
 
-// resolveStrategy applies Auto selection.
+// resolveStrategy applies Auto selection through the cost-based planner.
+// The inputs (files, rules, body symbols, merge work) are pool-durable, so a recovered
+// engine resolves to the same direction its tables were laid out for.
 func (e *Engine) resolveStrategy() Strategy {
 	if e.opts.Strategy != Auto {
 		return e.opts.Strategy
 	}
-	if e.numFiles > autoFileThreshold {
-		return BottomUp
-	}
-	return TopDown
+	return chooseStrategy(e.numFiles, e.numRules, e.bodySymbols, e.mergeWork)
 }
 
 // errEngine wraps internal failures with engine context.

@@ -7,20 +7,22 @@ import (
 // Pool root slots.  Slots hold either offsets of pool regions or small
 // scalar values; all are made durable by the initialization checkpoint.
 const (
-	rootMeta     = 0  // rule metadata array offset
-	rootNumRules = 1  // rule count
-	rootRootBody = 2  // ordered root-rule body offset
-	rootTopo     = 3  // topological order array offset
-	rootSeqDict  = 4  // sequence dictionary offset (0 when disabled)
-	rootEdges    = 5  // head/tail edge records offset (0 when disabled)
-	rootNumWords = 6  // vocabulary size
-	rootNumFiles = 7  // file count
-	rootOpLog    = 8  // operation-level log region offset (0 when disabled)
-	rootResult   = 9  // result table offset of the last committed traversal
-	rootInitTop  = 10 // pool watermark at the end of initialization
-	rootTaskID   = 11 // task of the last committed traversal
-	rootSeqLocal = 12 // per-rule local-window table offset array (0 when disabled)
-	rootDistinct = 13 // distinct word IDs across all rule bodies
+	rootMeta      = 0  // rule metadata array offset
+	rootNumRules  = 1  // rule count
+	rootRootBody  = 2  // ordered root-rule body offset
+	rootTopo      = 3  // topological order array offset
+	rootSeqDict   = 4  // sequence dictionary offset (0 when disabled)
+	rootEdges     = 5  // head/tail edge records offset (0 when disabled)
+	rootNumWords  = 6  // vocabulary size
+	rootNumFiles  = 7  // file count
+	rootOpLog     = 8  // operation-level log region offset (0 when disabled)
+	rootResult    = 9  // result table offset of the last committed traversal
+	rootInitTop   = 10 // pool watermark at the end of initialization
+	rootTaskID    = 11 // task of the last committed traversal
+	rootSeqLocal  = 12 // per-rule local-window table offset array (0 when disabled)
+	rootDistinct  = 13 // distinct word IDs across all rule bodies
+	rootBodySyms  = 14 // total rule-body symbols (a traversal-planner input)
+	rootMergeWork = 15 // bottom-up list-merge entries (a traversal-planner input)
 )
 
 // Rule metadata record layout (§IV-B: "the position of subrules and words,

@@ -32,7 +32,9 @@ type Strategy int
 
 // Traversal strategies.
 const (
-	// Auto picks bottom-up for many-file corpora, top-down otherwise.
+	// Auto lets the cost-based planner pick the direction from the grammar
+	// shape (files, rules, body symbols, bottom-up merge work) and the
+	// metrics cost model; see chooseStrategy in planner.go.
 	Auto Strategy = iota
 	// TopDown propagates weights from the root, traversing the DAG per
 	// file: efficient for few files, catastrophic for many (§VI-E).
@@ -41,9 +43,6 @@ const (
 	// each file's top level: efficient for many files.
 	BottomUp
 )
-
-// autoFileThreshold is the file count above which Auto selects BottomUp.
-const autoFileThreshold = 500
 
 // String names the strategy.
 func (s Strategy) String() string {
@@ -135,6 +134,13 @@ type Options struct {
 	// device set assembled from mismatched shards is rejected.
 	ShardIndex uint32
 	ShardCount uint32
+	// BuildTag, when non-zero, is a content fingerprint of the compressed
+	// input stamped into the engine's pool header (for shards of a unified
+	// shared-rule container, the container's shared-table checksum; see
+	// cfg.SharedSet.Checksum).  ReopenSharded rejects a device set whose
+	// pools carry different tags — shards of different builds — even when
+	// their positional stamps line up.
+	BuildTag uint32
 	// ShardDevices, when non-nil, provides one pre-created device per shard
 	// to NewSharded (it must have exactly one device per shard grammar).
 	// The crash-exploration harness injects pre-armed shard devices this

@@ -94,6 +94,8 @@ func Reopen(dev *nvm.SimDevice, d *dict.Dictionary, opts Options) (*Engine, *Rec
 	}
 	e.initTop = get(rootInitTop)
 	e.distinctWords = get(rootDistinct)
+	e.bodySymbols = get(rootBodySyms)
+	e.mergeWork = get(rootMergeWork)
 	info.CommittedTask = analytics.Task(get(rootTaskID))
 
 	// Sequence structures.

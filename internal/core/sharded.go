@@ -141,6 +141,16 @@ func ReopenSharded(devs []*nvm.SimDevice, d *dict.Dictionary, opts Options) (*Sh
 			return nil, infos, fmt.Errorf("core: shard %d: %w: pool stamped %d of %d",
 				i, ErrShardMismatch, idx, cnt)
 		}
+		// Build tags must agree across the set (and with the caller's
+		// expectation, when it has one): positional stamps cannot tell shard
+		// 1-of-4 of one unified build from shard 1-of-4 of another.
+		if tag := e.pool.Tag(); opts.BuildTag != 0 && tag != opts.BuildTag {
+			return nil, infos, fmt.Errorf("core: shard %d: %w: pool build tag %08x, want %08x",
+				i, ErrShardMismatch, tag, opts.BuildTag)
+		} else if i > 0 && tag != se.shards[0].pool.Tag() {
+			return nil, infos, fmt.Errorf("core: shard %d: %w: pool build tag %08x differs from shard 0's %08x",
+				i, ErrShardMismatch, tag, se.shards[0].pool.Tag())
+		}
 		se.shards[i] = e
 		se.bases[i] = se.nfiles
 		se.nfiles += e.numFiles
@@ -163,27 +173,41 @@ func (e shardedEnv) NumFiles() int              { return e.nfiles }
 func (e shardedEnv) SeqOf(uint64) analytics.Seq { panic("core: merge env resolves no sequence keys") }
 func (e shardedEnv) Charge(n, perOp int64)      { e.meter.Charge(n, perOp) }
 
-// scatterGather runs the batch on every shard in parallel through run, then
-// merges the per-shard results on meter's account.
+// scatterGather runs the batch over the shards under a planned lane
+// schedule — the fan-out planner packs shards onto parallel lanes from
+// their estimated costs, so trivial shards share a lane instead of each
+// paying dispatch overhead — then merges the per-shard results on meter's
+// account.  The schedule is returned so callers can aggregate modeled spans
+// the same way the work actually ran.
 func (se *ShardedEngine) scatterGather(ops []analytics.Op,
 	run func(shard int, ops []analytics.Op) ([]any, error),
-	meter *metrics.Meter) ([]any, error) {
+	meter *metrics.Meter) ([]any, [][]int, error) {
+	costs := make([]int64, len(se.shards))
+	for i, sh := range se.shards {
+		costs[i] = sh.planCost(len(ops))
+	}
+	lanes := planFanout(costs)
 	outs := make([][]any, len(se.shards))
 	errs := make([]error, len(se.shards))
 	var wg sync.WaitGroup
-	for i := range se.shards {
+	for _, lane := range lanes {
 		wg.Add(1)
-		go func(i int) {
+		go func(lane []int) {
 			defer wg.Done()
-			outs[i], errs[i] = run(i, ops)
-		}(i)
+			for _, i := range lane {
+				outs[i], errs[i] = run(i, ops)
+			}
+		}(lane)
 	}
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("core: shard %d: %w", i, err)
+			return nil, nil, fmt.Errorf("core: shard %d: %w", i, err)
 		}
 	}
+	// Each dispatched lane charges the coordinator its scheduling and join
+	// bookkeeping, the cost the fan-out planner weighs against parallelism.
+	meter.Charge(int64(len(lanes)), laneDispatchCost)
 	env := shardedEnv{d: se.d, nfiles: int(se.nfiles), meter: meter}
 	results := make([]any, len(ops))
 	for j, op := range ops {
@@ -193,11 +217,11 @@ func (se *ShardedEngine) scatterGather(ops []analytics.Op,
 		}
 		r, err := analytics.MergeShardResults(op, env, per, se.bases)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		results[j] = r
 	}
-	return results, nil
+	return results, lanes, nil
 }
 
 // RunOps implements analytics.Executor: the batch executes fused on every
@@ -209,7 +233,7 @@ func (se *ShardedEngine) RunOps(ops []analytics.Op) ([]any, error) {
 		return nil, nil
 	}
 	cpu0 := se.meter.Nanos()
-	results, err := se.scatterGather(ops, func(i int, ops []analytics.Op) ([]any, error) {
+	results, lanes, err := se.scatterGather(ops, func(i int, ops []analytics.Op) ([]any, error) {
 		return se.shards[i].RunOps(ops)
 	}, &se.meter)
 	if err != nil {
@@ -219,7 +243,10 @@ func (se *ShardedEngine) RunOps(ops []analytics.Op) ([]any, error) {
 	for i, sh := range se.shards {
 		spans[i] = sh.LastTraversalSpan()
 	}
-	trav := metrics.MergeParallel(spans...).AddSerial(se.meter.Nanos() - cpu0)
+	// Aggregate along the planned schedule: shards on one lane ran serially,
+	// lanes in parallel, and the coordinator's merge extends the critical
+	// path.
+	trav := metrics.MergeScheduled(lanes, spans).AddSerial(se.meter.Nanos() - cpu0)
 	se.mu.Lock()
 	se.lastTrav = trav
 	se.mu.Unlock()
@@ -317,9 +344,10 @@ func (ss *ShardedSession) RunOps(ops []analytics.Op) ([]any, error) {
 	if len(ops) == 0 {
 		return nil, nil
 	}
-	return ss.se.scatterGather(ops, func(i int, ops []analytics.Op) ([]any, error) {
+	results, _, err := ss.se.scatterGather(ops, func(i int, ops []analytics.Op) ([]any, error) {
 		return ss.sessions[i].RunOps(ops)
 	}, &ss.meter)
+	return results, err
 }
 
 // RunOp implements analytics.Executor.

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/text-analytics/ntadoc/internal/analytics"
+	"github.com/text-analytics/ntadoc/internal/cfg"
 	"github.com/text-analytics/ntadoc/internal/nvm"
 	"github.com/text-analytics/ntadoc/internal/sequitur"
 )
@@ -36,31 +37,45 @@ func TestShardCountInvariance(t *testing.T) {
 				t.Fatalf("unsharded RunOps: %v", err)
 			}
 			for k := 1; k <= 4; k++ {
+				// Both shard pipelines must be invariant: independent
+				// per-shard inference, and the shared-dictionary path whose
+				// grammars went through interning, cross-shard rule
+				// unification, and re-materialization.
 				gs, err := sequitur.InferShards(files, uint32(d.Len()), k)
 				if err != nil {
 					t.Fatalf("InferShards(k=%d): %v", k, err)
 				}
-				se, err := NewSharded(gs, d, Options{Sequences: true})
+				sb, err := sequitur.InferShardsShared(files, uint32(d.Len()), k)
 				if err != nil {
-					t.Fatalf("NewSharded(k=%d): %v", k, err)
+					t.Fatalf("InferShardsShared(k=%d): %v", k, err)
 				}
-				t.Cleanup(func() { se.Close() })
-				got, err := se.RunOps(ops)
-				if err != nil {
-					t.Fatalf("sharded RunOps(k=%d): %v", k, err)
-				}
-				for i, op := range ops {
-					if !reflect.DeepEqual(got[i], want[i]) {
-						t.Errorf("k=%d op %s: sharded result differs from unsharded", k, op.Name())
+				for _, p := range []struct {
+					path string
+					gs   []*cfg.Grammar
+				}{{"independent", gs}, {"dedup", sb.Shards}} {
+					se, err := NewSharded(p.gs, d, Options{Sequences: true})
+					if err != nil {
+						t.Fatalf("NewSharded(k=%d, %s): %v", k, p.path, err)
 					}
-				}
-				// Singleton path and typed engine methods.
-				wc, err := se.WordCount()
-				if err != nil {
-					t.Fatalf("sharded WordCount(k=%d): %v", k, err)
-				}
-				if !reflect.DeepEqual(wc, want[0]) {
-					t.Errorf("k=%d: WordCount differs from unsharded", k)
+					t.Cleanup(func() { se.Close() })
+					got, err := se.RunOps(ops)
+					if err != nil {
+						t.Fatalf("sharded RunOps(k=%d, %s): %v", k, p.path, err)
+					}
+					for i, op := range ops {
+						if !reflect.DeepEqual(got[i], want[i]) {
+							t.Errorf("k=%d op %s (%s): sharded result differs from unsharded",
+								k, op.Name(), p.path)
+						}
+					}
+					// Singleton path and typed engine methods.
+					wc, err := se.WordCount()
+					if err != nil {
+						t.Fatalf("sharded WordCount(k=%d, %s): %v", k, p.path, err)
+					}
+					if !reflect.DeepEqual(wc, want[0]) {
+						t.Errorf("k=%d (%s): WordCount differs from unsharded", k, p.path)
+					}
 				}
 			}
 		})
@@ -229,6 +244,46 @@ func TestReopenSharded(t *testing.T) {
 	if _, _, err := ReopenSharded([]*nvm.SimDevice{devs[1], devs[0]}, d, Options{Sequences: true}); !errors.Is(err, ErrShardMismatch) {
 		t.Fatalf("reordered devices: err = %v, want ErrShardMismatch", err)
 	}
+}
+
+// TestReopenShardedBuildTag checks the build-tag leg of stamp validation:
+// a device set mixing shards of differently-tagged builds is rejected, as
+// is a set whose tag differs from the caller's expectation, while a
+// consistently tagged set recovers.
+func TestReopenShardedBuildTag(t *testing.T) {
+	files, d, _ := corpus(t, 58, 4, 200, 25)
+	gs, err := sequitur.InferShards(files, uint32(d.Len()), 2)
+	if err != nil {
+		t.Fatalf("InferShards: %v", err)
+	}
+	build := func(tag uint32) []*nvm.SimDevice {
+		se, err := NewSharded(gs, d, Options{BuildTag: tag})
+		if err != nil {
+			t.Fatalf("NewSharded(tag=%08x): %v", tag, err)
+		}
+		devs := make([]*nvm.SimDevice, se.NumShards())
+		for i := range devs {
+			devs[i] = se.Shard(i).Device()
+			if err := devs[i].Crash(); err != nil {
+				t.Fatalf("Crash shard %d: %v", i, err)
+			}
+		}
+		return devs
+	}
+	a, b := build(0x1111), build(0x2222)
+	if _, _, err := ReopenSharded([]*nvm.SimDevice{a[0], b[1]}, d, Options{}); !errors.Is(err, ErrShardMismatch) {
+		t.Fatalf("mixed-build devices: err = %v, want ErrShardMismatch", err)
+	}
+	if _, _, err := ReopenSharded(a, d, Options{BuildTag: 0x3333}); !errors.Is(err, ErrShardMismatch) {
+		t.Fatalf("wrong expected tag: err = %v, want ErrShardMismatch", err)
+	}
+	// Consistent tags matching the caller's expectation recover (Close last:
+	// the recovered engine owns the devices).
+	se, _, err := ReopenSharded(a, d, Options{BuildTag: 0x1111})
+	if err != nil {
+		t.Fatalf("matching tags rejected: %v", err)
+	}
+	se.Close()
 }
 
 // TestNewShardedValidation covers the constructor's error paths.

@@ -45,10 +45,15 @@ func RunSharded(kcfg Config, k int) (*Report, error) {
 		ZipfS: 1.3, Phrases: 30, PhraseLen: 5, PhraseProb: 0.6,
 	}
 	files, d := spec.GenerateWithDict()
-	gs, err := sequitur.InferShards(files, uint32(d.Len()), k)
+	// Build through the shared-dictionary path: shard grammars are interned,
+	// unified against the shared rule table, and re-materialized — the same
+	// pipeline the archive format persists — so the crash exploration covers
+	// the dedup path, not just independent per-shard inference.
+	sb, err := sequitur.InferShardsShared(files, uint32(d.Len()), k)
 	if err != nil {
 		return nil, fmt.Errorf("crashcheck: infer shard grammars: %w", err)
 	}
+	gs := sb.Shards
 	if len(gs) != k {
 		return nil, fmt.Errorf("crashcheck: got %d shards for k=%d", len(gs), k)
 	}

@@ -376,37 +376,37 @@ func RunFusedComparison(c *Corpus, ops []analytics.Op, opts core.Options) (Fused
 }
 
 // ShardCell is one K point of the shard-scaling experiment: the corpus
-// compressed into K independent shards, built in parallel, with the fused
-// batch scattered across the shards.  Modeled times are critical-path times
-// (the slowest shard, plus the coordinator's merge for the traversal);
-// Symbols is the total grammar size across shards, which grows with K since
-// redundancy spanning shards is no longer shared.
+// compressed into K shards built in parallel against a shared interning
+// dictionary, unified into one shared rule table, with the fused batch
+// scattered across the shards.  Modeled times are critical-path times (the
+// slowest shard, plus the coordinator's merge for the traversal); Symbols
+// is the total grammar size the independent builds produced (growing with
+// K), DedupSymbols the stored size after cross-shard unification (shared
+// rules counted once).
 type ShardCell struct {
-	K          int
-	BuildTotal time.Duration // parallel per-shard build, critical path
-	TravTotal  time.Duration // fused batch traversal, critical path + merge
-	Symbols    int64         // total rule-body symbols across shards
-	NVMBytes   int64         // total pool residency across shards
+	K            int
+	BuildTotal   time.Duration // parallel per-shard build, critical path
+	TravTotal    time.Duration // fused batch traversal, critical path + merge
+	Symbols      int64         // total rule-body symbols before unification
+	DedupSymbols int64         // unified-form symbols: shared table + roots
+	SharedRules  int           // shared rule table size
+	NVMBytes     int64         // total pool residency across shards
 }
 
 // RunShardScaling partitions the corpus into k document shards, builds a
 // sharded N-TADOC engine (one grammar, device, and pool per shard, built
-// concurrently), and runs ops as one fused scatter-gather batch.
+// concurrently through the shared-dictionary dedup path), and runs ops as
+// one fused scatter-gather batch.
 func RunShardScaling(c *Corpus, ops []analytics.Op, k int, opts core.Options) (ShardCell, error) {
 	for _, op := range ops {
 		opts.Sequences = opts.Sequences || op.Keys() == analytics.KeySequences
 	}
-	gs, err := sequitur.InferShards(c.Files, uint32(c.Dict.Len()), k)
+	sb, err := sequitur.InferShardsShared(c.Files, uint32(c.Dict.Len()), k)
 	if err != nil {
 		return ShardCell{}, err
 	}
-	var symbols int64
-	for _, g := range gs {
-		for _, body := range g.Rules {
-			symbols += int64(len(body))
-		}
-	}
-	se, err := core.NewSharded(gs, c.Dict, opts)
+	opts.BuildTag = sb.Set.Checksum()
+	se, err := core.NewSharded(sb.Shards, c.Dict, opts)
 	if err != nil {
 		return ShardCell{}, err
 	}
@@ -415,11 +415,13 @@ func RunShardScaling(c *Corpus, ops []analytics.Op, k int, opts core.Options) (S
 		return ShardCell{}, err
 	}
 	return ShardCell{
-		K:          len(gs),
-		BuildTotal: se.InitSpan().Total(),
-		TravTotal:  se.LastTraversalSpan().Total(),
-		Symbols:    symbols,
-		NVMBytes:   se.NVMBytes(),
+		K:            len(sb.Shards),
+		BuildTotal:   se.InitSpan().Total(),
+		TravTotal:    se.LastTraversalSpan().Total(),
+		Symbols:      sb.RawSymbols,
+		DedupSymbols: sb.Set.SymbolCount(),
+		SharedRules:  len(sb.Set.Shared),
+		NVMBytes:     se.NVMBytes(),
 	}, nil
 }
 

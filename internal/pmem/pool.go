@@ -26,8 +26,8 @@ import (
 //	36   4     checkpoint epoch
 //	40   8     redo-log offset
 //	48   8     redo-log capacity
-//	56   4     crc32 of bytes [0,56)
-//	60   4     padding
+//	56   4     build tag: caller-chosen content fingerprint; zero when unused
+//	60   4     crc32 of bytes [0,60)
 //	64   128   16 named root slots (uint64 each)
 const (
 	headerSize = 192
@@ -42,10 +42,11 @@ const (
 	offEpoch   = 36
 	offLogOff  = 40
 	offLogCap  = 48
-	offCRC     = 56
+	offTag     = 56
+	offCRC     = 60
 	offRoots   = 64
 
-	poolVersion = 1
+	poolVersion = 2
 )
 
 var magic = [8]byte{'N', 'T', 'A', 'D', 'O', 'C', 'P', 'M'}
@@ -85,6 +86,12 @@ type Options struct {
 	// set whose pools were built for different positions or set sizes.
 	Shard      uint32
 	ShardCount uint32
+	// Tag is a caller-chosen content fingerprint stamped into the header
+	// (zero when unused).  A sharded engine built from a unified shared-rule
+	// container stamps every shard pool with the container's shared-table
+	// checksum, so recovery can reject a device set assembled from shards of
+	// different builds even when their positional stamps happen to line up.
+	Tag uint32
 }
 
 // Create formats a new pool covering the whole device and returns it.  Any
@@ -122,6 +129,7 @@ func Create(dev nvm.Device, opts Options) (*Pool, error) {
 	p.acc.PutUint32(offEpoch, 0)
 	p.acc.PutUint64(offLogOff, uint64(p.logOff))
 	p.acc.PutUint64(offLogCap, uint64(p.logCap))
+	p.acc.PutUint32(offTag, opts.Tag)
 	for i := 0; i < rootSlots; i++ {
 		p.acc.PutUint64(offRoots+int64(i)*8, 0)
 	}
@@ -274,6 +282,9 @@ func (p *Pool) Shard() (index, count uint32) {
 	v := p.acc.Uint32(offShard)
 	return v & 0xffff, v >> 16
 }
+
+// Tag returns the build tag the pool was created with, zero when none.
+func (p *Pool) Tag() uint32 { return p.acc.Uint32(offTag) }
 
 // Phase returns the last durably completed checkpoint phase, 0 if none.
 func (p *Pool) Phase() uint32 { return p.acc.Uint32(offPhase) }

@@ -38,6 +38,38 @@ func TestShardStampRoundTrip(t *testing.T) {
 	}
 }
 
+// TestBuildTagRoundTrip checks the build tag survives create/checkpoint/open
+// and that untagged pools read back zero.
+func TestBuildTagRoundTrip(t *testing.T) {
+	dev := nvm.New(nvm.KindNVM, 1<<20)
+	defer dev.Discard()
+	p, err := Create(dev, Options{LogCap: 4096, Tag: 0xdeadbeef})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Tag() != 0xdeadbeef {
+		t.Fatalf("Tag() = %08x, want deadbeef", p.Tag())
+	}
+	must(t, p.Checkpoint(1))
+	reopened, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Tag() != 0xdeadbeef {
+		t.Fatalf("reopened Tag() = %08x, want deadbeef", reopened.Tag())
+	}
+
+	plain := nvm.New(nvm.KindNVM, 1<<20)
+	defer plain.Discard()
+	q, err := Create(plain, Options{LogCap: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Tag() != 0 {
+		t.Fatalf("untagged Tag() = %08x, want 0", q.Tag())
+	}
+}
+
 // TestShardStampValidation rejects out-of-range stamps at creation.
 func TestShardStampValidation(t *testing.T) {
 	dev := nvm.New(nvm.KindNVM, 1<<20)

@@ -42,14 +42,17 @@ type Document struct {
 // Archive is a compressed document collection: the TADOC grammar plus its
 // dictionary.  Archives serialize with WriteTo and load with ReadArchive.
 //
-// A sharded archive (CompressSharded) additionally keeps one independent
-// grammar per shard; the whole-corpus grammar is their concatenation.  The
-// shard boundary is whole documents, so every document lives in exactly one
-// shard and sharded analytics merge to bit-identical results.
+// A sharded archive (CompressSharded) additionally keeps one grammar per
+// shard plus the unified form — the shards rewritten against one shared rule
+// table, which recovers the cross-shard redundancy independent builds
+// re-learn; the whole-corpus grammar is the shard concatenation.  The shard
+// boundary is whole documents, so every document lives in exactly one shard
+// and sharded analytics merge to bit-identical results.
 type Archive struct {
 	g      *cfg.Grammar
 	d      *dict.Dictionary
 	shards []*cfg.Grammar // nil for an unsharded archive
+	shared *cfg.SharedSet // unified form; nil for unsharded or legacy archives
 }
 
 // Compress builds an archive from documents.  Tokenization lowercases and
@@ -87,9 +90,11 @@ func compress(tokens [][]uint32, names []string, d *dict.Dictionary) (*Archive, 
 // CompressSharded builds a K-way sharded archive: documents are partitioned
 // into K contiguous shards of balanced token weight and each shard is
 // compressed independently (in parallel), so engines can build and query the
-// shards concurrently.  Sharding trades some compression for parallelism —
-// redundancy spanning shards is not shared — and k = 1 (or a single
-// document) degenerates to Compress.
+// shards concurrently.  A cross-shard unification pass then rewrites the
+// shard grammars against one shared rule table, recovering most of the
+// compression that independent builds give up — the archive keeps both the
+// unified form (what serializes) and the per-shard closures (what engines
+// build from).  k = 1 (or a single document) degenerates to Compress.
 func CompressSharded(docs []Document, k int) (*Archive, error) {
 	d := dict.New()
 	var tk dict.Tokenizer
@@ -111,10 +116,11 @@ func compressSharded(tokens [][]uint32, names []string, d *dict.Dictionary, k in
 	if k <= 1 {
 		return compress(tokens, names, d)
 	}
-	gs, err := sequitur.InferShards(tokens, uint32(d.Len()), k)
+	sb, err := sequitur.InferShardsShared(tokens, uint32(d.Len()), k)
 	if err != nil {
 		return nil, fmt.Errorf("ntadoc: compress sharded: %w", err)
 	}
+	gs := sb.Shards
 	if len(gs) == 1 {
 		gs[0].Files = names
 		if err := gs[0].Validate(); err != nil {
@@ -123,9 +129,11 @@ func compressSharded(tokens [][]uint32, names []string, d *dict.Dictionary, k in
 		return &Archive{g: gs[0], d: d}, nil
 	}
 	base := uint32(0)
-	for _, g := range gs {
+	for si, g := range gs {
 		if names != nil {
-			g.Files = names[base : base+g.NumFiles]
+			sub := names[base : base+g.NumFiles]
+			g.Files = sub
+			sb.Set.Shards[si].Files = sub
 		}
 		base += g.NumFiles
 	}
@@ -133,7 +141,7 @@ func compressSharded(tokens [][]uint32, names []string, d *dict.Dictionary, k in
 	if err != nil {
 		return nil, fmt.Errorf("ntadoc: compress sharded: %w", err)
 	}
-	return &Archive{g: merged, d: d, shards: gs}, nil
+	return &Archive{g: merged, d: d, shards: gs, shared: sb.Set}, nil
 }
 
 // NumShards returns the archive's shard count (1 when unsharded).
@@ -215,12 +223,17 @@ func (a *Archive) Decompress() []Document {
 // WriteTo serializes the archive: a length-prefixed grammar section
 // followed by the dictionary.  The length prefix lets the reader bound the
 // grammar parser's buffering exactly.  A sharded archive's grammar section
-// is the shard container (one self-checksummed grammar per shard); an
-// unsharded archive's is a single grammar, byte-compatible with earlier
-// versions.
+// is the shared-table container (the unified form: one self-checksummed
+// shared rule table plus a root per shard) when the archive carries one, or
+// the legacy per-shard container otherwise; an unsharded archive's is a
+// single grammar, byte-compatible with earlier versions.
 func (a *Archive) WriteTo(w io.Writer) (int64, error) {
 	var gbuf bytes.Buffer
-	if a.shards != nil {
+	if a.shared != nil {
+		if _, err := cfg.WriteSharedSet(&gbuf, a.shared); err != nil {
+			return 0, err
+		}
+	} else if a.shards != nil {
 		if _, err := cfg.WriteShards(&gbuf, a.shards); err != nil {
 			return 0, err
 		}
@@ -263,9 +276,25 @@ func ReadArchive(r io.Reader) (*Archive, error) {
 	var (
 		g      *cfg.Grammar
 		shards []*cfg.Grammar
+		shared *cfg.SharedSet
 		err    error
 	)
-	if cfg.IsShardContainer(peek[:]) {
+	switch {
+	case cfg.IsSharedContainer(peek[:]):
+		shared, err = cfg.ReadSharedSet(section)
+		if err != nil {
+			return nil, err
+		}
+		shards, err = shared.Materialize()
+		if err != nil {
+			return nil, err
+		}
+		if len(shards) == 1 {
+			g, shards, shared = shards[0], nil, nil
+		} else if g, err = cfg.ConcatShards(shards); err != nil {
+			return nil, err
+		}
+	case cfg.IsShardContainer(peek[:]):
 		shards, err = cfg.ReadShards(section)
 		if err != nil {
 			return nil, err
@@ -275,8 +304,10 @@ func ReadArchive(r io.Reader) (*Archive, error) {
 		} else if g, err = cfg.ConcatShards(shards); err != nil {
 			return nil, err
 		}
-	} else if g, err = cfg.ReadGrammar(section); err != nil {
-		return nil, err
+	default:
+		if g, err = cfg.ReadGrammar(section); err != nil {
+			return nil, err
+		}
 	}
 	d := dict.New()
 	if _, err := d.ReadFrom(r); err != nil {
@@ -285,7 +316,7 @@ func ReadArchive(r io.Reader) (*Archive, error) {
 	if uint32(d.Len()) < g.NumWords {
 		return nil, fmt.Errorf("ntadoc: dictionary (%d words) smaller than grammar vocabulary (%d)", d.Len(), g.NumWords)
 	}
-	return &Archive{g: g, d: d, shards: shards}, nil
+	return &Archive{g: g, d: d, shards: shards, shared: shared}, nil
 }
 
 // WriteDOT renders the archive's grammar DAG in Graphviz DOT format, with

@@ -150,3 +150,34 @@ func TestShardedEngineMatchesUnsharded(t *testing.T) {
 		t.Error("DRAM engine on sharded archive differs")
 	}
 }
+
+// TestSharedFormRoundTrip checks the unified (shared-rule-table) form is
+// what a sharded archive serializes, that it survives the round trip
+// exactly, and that re-serialization is byte-identical (deterministic).
+func TestSharedFormRoundTrip(t *testing.T) {
+	a, err := CompressSharded(shardDocs, 3)
+	if err != nil {
+		t.Fatalf("CompressSharded: %v", err)
+	}
+	if a.shared == nil {
+		t.Fatal("sharded archive carries no unified form")
+	}
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	a2, err := ReadArchive(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadArchive: %v", err)
+	}
+	if !reflect.DeepEqual(a2.shared, a.shared) {
+		t.Fatal("unified form changed through serialization")
+	}
+	var buf2 bytes.Buffer
+	if _, err := a2.WriteTo(&buf2); err != nil {
+		t.Fatalf("re-serialize: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("re-serialization not byte-identical")
+	}
+}
