@@ -3,7 +3,7 @@ GO ?= go
 # Seconds of coverage-guided fuzzing per target in fuzz-smoke.
 FUZZTIME ?= 20s
 
-.PHONY: all build vet staticcheck test race bench-smoke errcheck crashcheck fuzz-smoke check
+.PHONY: all build vet staticcheck test race bench-smoke errcheck crashcheck failovercheck fuzz-smoke check
 
 all: check
 
@@ -53,6 +53,17 @@ crashcheck:
 	$(GO) run ./cmd/crashcheck -task wordcount -persistence both \
 		-points 0 -seeds 3 -seed 42 -files 2 -tokens 120 -vocab 40 -corpus-seed 7
 
+# Sampled replication/failover matrix on a 3-way replicated engine: per
+# sampled (shard, event) point the primary dies under sync and lag-bounded
+# async shipping (failover must mask it bit-identically), the follower is
+# torn and its frozen image recovered under seeded crash subsets, and a final
+# async run checks the lag-bound recovery contract.  The sampled version runs
+# inside `make test` via internal/crashcheck; seeds are pinned to reproduce.
+failovercheck:
+	$(GO) run ./cmd/crashcheck -failover -shards 3 -task wordcount \
+		-persistence both -points 6 -seeds 3 -seed 42 -files 6 -tokens 120 \
+		-vocab 40 -corpus-seed 7
+
 # A short coverage-guided run of every fuzz target (archive parsing, the
 # compress/decompress round trip, op-log crash recovery).  Each target gets
 # FUZZTIME of fuzzing on top of its seed corpus; new crashers land in
@@ -62,4 +73,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzCompressRoundTrip$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzOpLogRecovery$$' -fuzztime $(FUZZTIME) ./internal/core
 
-check: build vet staticcheck errcheck test race bench-smoke crashcheck fuzz-smoke
+check: build vet staticcheck errcheck test race bench-smoke crashcheck failovercheck fuzz-smoke

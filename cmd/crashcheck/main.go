@@ -8,6 +8,7 @@
 //
 //	crashcheck -task wordcount -persistence both -points 0 -seeds 3 -seed 42
 //	crashcheck -task wordcount -shards 3 -points 8
+//	crashcheck -failover -shards 3 -points 6
 package main
 
 import (
@@ -33,9 +34,15 @@ func main() {
 		vocab       = flag.Int("vocab", 40, "corpus vocabulary size")
 		corpusSeed  = flag.Int64("corpus-seed", 7, "corpus generator seed")
 		shards      = flag.Int("shards", 1, "explore a k-way sharded engine instead (k >= 2)")
+		failover    = flag.Bool("failover", false, "explore the replication/failover matrix (needs -shards >= 2)")
 		verbose     = flag.Bool("v", false, "print per-point progress while exploring")
 	)
 	flag.Parse()
+
+	if *failover && *shards < 2 {
+		fmt.Fprintln(os.Stderr, "crashcheck: -failover needs -shards >= 2")
+		os.Exit(2)
+	}
 
 	var modes []core.Persistence
 	switch *persistence {
@@ -70,9 +77,12 @@ func main() {
 			rep *crashcheck.Report
 			err error
 		)
-		if *shards > 1 {
+		switch {
+		case *failover:
+			rep, err = crashcheck.RunFailover(cfg, *shards)
+		case *shards > 1:
 			rep, err = crashcheck.RunSharded(cfg, *shards)
-		} else {
+		default:
 			rep, err = crashcheck.Run(cfg)
 		}
 		if err != nil {

@@ -49,6 +49,15 @@ type Options struct {
 	// construction substantially cheaper; SequenceCount and
 	// RankedInvertedIndex then return an error.
 	NoSequences bool
+	// Replicas keeps this many follower devices per shard (sharded N-TADOC
+	// media only): each shard ships every committed durable delta to its
+	// followers, and a query falls over to a follower — transparently, with
+	// bit-identical results — when the shard's primary device fails.
+	Replicas int
+	// ReplicaReads lets multi-task batches split each shard's work between
+	// its primary and a read replica recovered from a follower image,
+	// shortening the slowest lane.  Requires Replicas >= 1.
+	ReplicaReads bool
 }
 
 // TermCount is a word with its frequency.
@@ -108,6 +117,13 @@ func NewEngine(a *Archive, opts Options) (*Engine, error) {
 		Sequences:   !opts.NoSequences,
 	}
 	if a.shards != nil {
+		if opts.Replicas > 0 {
+			copts.Replication = core.Replication{
+				Followers:    opts.Replicas,
+				Mode:         core.ShipSync,
+				ReplicaReads: opts.ReplicaReads,
+			}
+		}
 		if a.shared != nil {
 			// Tie every shard pool to this unified build: recovery rejects a
 			// device set mixing shards of different shared-rule containers.

@@ -148,6 +148,10 @@ type Options struct {
 	// when construction fails the devices stay with the caller, so a crash
 	// harness can still clone their durable state.
 	ShardDevices []*nvm.SimDevice
+	// Replication configures per-shard follower replication and failover
+	// (sharded engines only; see the Replication type).  Zero value disables
+	// replication.
+	Replication Replication
 	// Persistence selects the §IV-E strategy (default PhaseLevel).
 	Persistence Persistence
 	// Strategy selects the traversal direction (default Auto).

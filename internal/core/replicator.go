@@ -1,0 +1,302 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/text-analytics/ntadoc/internal/nvm"
+	"github.com/text-analytics/ntadoc/internal/pmem"
+)
+
+// ShipMode selects when a shard's replicator applies shipped commit batches
+// to its followers.
+type ShipMode int
+
+// Ship modes.
+const (
+	// ShipSync applies every commit batch to every follower before the
+	// primary's Drain returns: after any commit boundary the follower's
+	// durable image is byte-identical to the primary's.
+	ShipSync ShipMode = iota
+	// ShipAsync queues commit batches and applies them lazily, keeping each
+	// follower at most LagBound commits behind the primary.  A lagged
+	// follower is still a consistent durable image — one the primary held at
+	// an earlier commit boundary — so it recovers under the same contract,
+	// just potentially further back.
+	ShipAsync
+)
+
+// String names the ship mode.
+func (m ShipMode) String() string {
+	if m == ShipAsync {
+		return "async"
+	}
+	return "sync"
+}
+
+// Replication configures per-shard follower replication for a sharded
+// engine.  Each shard's primary device ships its drained persistence stream
+// — which carries the shard's op-log records along with every other durable
+// delta — to the shard's followers, so a follower holds a recoverable image
+// of the shard and the scatter-gather path can fail over to it when the
+// primary dies.
+type Replication struct {
+	// Followers is how many follower devices to create per shard (ignored
+	// when FollowerDevices is set).
+	Followers int
+	// Mode selects synchronous ship-on-commit or lag-bounded async shipping.
+	Mode ShipMode
+	// LagBound is the maximum number of commit batches a follower may trail
+	// the primary by in ShipAsync mode (default 4).
+	LagBound int
+	// FollowerDevices, when non-nil, injects the follower devices: one slice
+	// per shard (len must equal the shard count; a shard's slice may be
+	// empty).  The crash harness injects pre-armed followers this way.  On
+	// successful construction the engine takes ownership; on construction
+	// failure they stay with the caller, mirroring Options.ShardDevices.
+	FollowerDevices [][]*nvm.SimDevice
+	// ReplicaReads lets the scatter-gather planner split a multi-op batch
+	// between each shard's primary and a read replica recovered from its
+	// follower image, shortening the tail lane.
+	ReplicaReads bool
+}
+
+// enabled reports whether any replication was requested.
+func (r Replication) enabled() bool {
+	return r.Followers > 0 || r.FollowerDevices != nil
+}
+
+// withDefaults resolves zero values.
+func (r Replication) withDefaults() Replication {
+	if r.LagBound == 0 {
+		r.LagBound = 4
+	}
+	return r
+}
+
+// follower is one replica device and its ship state.
+type follower struct {
+	dev     *nvm.SimDevice
+	queue   [][]nvm.ShipRange // unapplied commit batches (ShipAsync), oldest first
+	applied int64             // commit batches made durable on this follower
+	err     error             // non-nil once demoted: shipping to it failed
+}
+
+// replicator ships one shard primary's drained commit batches to its
+// followers (the log-shipping shape: the primary's persistence stream is the
+// replicated log, and applying it in order reproduces the durable image byte
+// for byte).  Follower failures never propagate to the primary — a dead
+// follower is demoted, recorded, and skipped — while primary failures are
+// the scatter-gather path's failover trigger, not the replicator's concern.
+type replicator struct {
+	mu        sync.Mutex
+	primary   *nvm.SimDevice
+	mode      ShipMode
+	lag       int
+	followers []*follower
+}
+
+var _ nvm.Shipper = (*replicator)(nil)
+
+// newReplicator wires a primary to its follower devices.  Call bootstrap to
+// install the initial snapshot, then attach with primary.SetShipper.
+func newReplicator(primary *nvm.SimDevice, devs []*nvm.SimDevice, mode ShipMode, lag int) *replicator {
+	r := &replicator{primary: primary, mode: mode, lag: lag}
+	for _, dev := range devs {
+		r.followers = append(r.followers, &follower{dev: dev})
+	}
+	return r
+}
+
+// bootstrap installs the primary's current durable image on every follower
+// (the snapshot that later shipped deltas extend).  The snapshot is read
+// host-side off the modeled critical path; making it durable again is
+// charged at each follower.  A follower that fails during install is
+// demoted; only a failure to read the primary's image errors out.
+func (r *replicator) bootstrap() error {
+	img := make([]byte, r.primary.Size())
+	if err := r.primary.ReadDurable(img); err != nil {
+		return fmt.Errorf("core: replication bootstrap: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.followers {
+		if f.err != nil {
+			continue
+		}
+		if err := installImage(f.dev, img); err != nil {
+			f.err = fmt.Errorf("bootstrap: %w", err)
+		}
+	}
+	return nil
+}
+
+// installImage makes img the device's entire durable image, with the
+// pool's own ordering discipline: the body is persisted and fenced before
+// the header is.  A crash mid-install then leaves either no valid header
+// (recovery reloads from the compressed input) or a CRC-detectably torn
+// one — never a header vouching for body contents that did not make it.
+func installImage(dev *nvm.SimDevice, img []byte) error {
+	const chunk = 1 << 20
+	for off := 0; off < len(img); off += chunk {
+		end := min(off+chunk, len(img))
+		if _, err := dev.WriteAt(img[off:end], int64(off)); err != nil {
+			return err
+		}
+	}
+	hdr := min(int64(pmem.HeaderSize), int64(len(img)))
+	if err := dev.Flush(hdr, int64(len(img))-hdr); err != nil {
+		return err
+	}
+	if err := dev.Drain(); err != nil {
+		return err
+	}
+	if err := dev.Flush(0, hdr); err != nil {
+		return err
+	}
+	return dev.Drain()
+}
+
+// ShipCommit implements nvm.Shipper: the primary's Drain hands over each
+// committed durable delta.  Sync mode applies it to every live follower
+// before returning; async mode enqueues a copy and applies the oldest
+// batches until the follower is within the lag bound.  Always returns nil —
+// a torn follower must not fail the primary's commit.
+func (r *replicator) ShipCommit(batch []nvm.ShipRange) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.mode == ShipSync {
+		for _, f := range r.followers {
+			f.apply(batch)
+		}
+		return nil
+	}
+	// The batch's data windows are only valid during this call; queued
+	// batches need their own copies.
+	cp := make([]nvm.ShipRange, len(batch))
+	for i, sr := range batch {
+		cp[i] = nvm.ShipRange{Off: sr.Off, Data: append([]byte(nil), sr.Data...)}
+	}
+	for _, f := range r.followers {
+		if f.err != nil {
+			continue
+		}
+		f.queue = append(f.queue, cp)
+		for len(f.queue) > r.lag && f.err == nil {
+			f.apply(f.queue[0])
+			f.queue = f.queue[1:]
+		}
+	}
+	return nil
+}
+
+// apply makes one commit batch durable on the follower; failure demotes it.
+func (f *follower) apply(batch []nvm.ShipRange) {
+	if f.err != nil {
+		return
+	}
+	for _, sr := range batch {
+		if _, err := f.dev.WriteAt(sr.Data, sr.Off); err != nil {
+			f.err = fmt.Errorf("ship write: %w", err)
+			return
+		}
+		if err := f.dev.Flush(sr.Off, int64(len(sr.Data))); err != nil {
+			f.err = fmt.Errorf("ship flush: %w", err)
+			return
+		}
+	}
+	if err := f.dev.Drain(); err != nil {
+		f.err = fmt.Errorf("ship drain: %w", err)
+		return
+	}
+	f.applied++
+}
+
+// catchUpLocked drains every live follower's queue (r.mu held).
+func (r *replicator) catchUpLocked() {
+	for _, f := range r.followers {
+		for len(f.queue) > 0 && f.err == nil {
+			f.apply(f.queue[0])
+			f.queue = f.queue[1:]
+		}
+	}
+}
+
+// catchUp applies all queued batches, bringing live followers current.
+func (r *replicator) catchUp() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.catchUpLocked()
+}
+
+// promote hands the first live follower over for failover: queued batches
+// are applied first (they live in coordinator memory, which survives a
+// device failure), then the freshest live follower device is removed from
+// the replica set and returned along with the remaining live followers.
+// The shipper is detached from the (dead) primary by the caller.
+func (r *replicator) promote() (dev *nvm.SimDevice, rest []*nvm.SimDevice, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.catchUpLocked()
+	for _, f := range r.followers {
+		if f.err != nil {
+			continue
+		}
+		if dev == nil {
+			dev = f.dev
+		} else {
+			rest = append(rest, f.dev)
+		}
+	}
+	if dev == nil {
+		errs := []error{errors.New("core: no live follower to promote")}
+		for _, f := range r.followers {
+			errs = append(errs, f.err)
+		}
+		return nil, nil, errors.Join(errs...)
+	}
+	// Live followers are promoted or handed to the successor replicator;
+	// demoted ones stay behind so a later close still discards their devices.
+	demoted := r.followers[:0]
+	for _, f := range r.followers {
+		if f.err != nil {
+			demoted = append(demoted, f)
+		}
+	}
+	r.followers = demoted
+	return dev, rest, nil
+}
+
+// liveFollowers returns the current live follower devices (caught up first,
+// so sync-invariant checks see the shipped state, not the queue).
+func (r *replicator) liveFollowers() []*nvm.SimDevice {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.catchUpLocked()
+	var devs []*nvm.SimDevice
+	for _, f := range r.followers {
+		if f.err == nil {
+			devs = append(devs, f.dev)
+		}
+	}
+	return devs
+}
+
+// close detaches from the primary and discards the follower devices.
+func (r *replicator) close() error {
+	r.primary.SetShipper(nil)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var errs []error
+	for _, f := range r.followers {
+		if err := f.dev.Discard(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	r.followers = nil
+	return errors.Join(errs...)
+}

@@ -22,6 +22,12 @@ import (
 // analytics.MergingFold capability (global ops combine counters key-wise;
 // per-file ops concatenate with document indices offset by the shard base).
 //
+// With Options.Replication, each shard additionally ships its drained
+// commit stream to follower devices, and the scatter-gather path fails over
+// when a primary dies mid-batch: the lane promotes a follower, recovers it
+// under the unsharded recovery contract, re-dispatches the shard's ops, and
+// the merged result stays bit-identical to the healthy run.
+//
 // Modeled time follows the parallel execution: a phase's Total is the
 // critical path (the slowest shard) plus the coordinator's serial merge,
 // while device statistics sum across shards (see metrics.MergeParallel).
@@ -31,22 +37,92 @@ type ShardedEngine struct {
 	nfiles uint32
 	d      *dict.Dictionary
 
+	// Failover state: the retained shard grammars (reload-path rebuilds;
+	// nil after ReopenSharded, which has no grammars), the sanitized base
+	// options recovery reuses, and one replicator per replicated shard.
+	gs   []*cfg.Grammar
+	opts Options
+	reps []*replicator
+
+	// Replica-read state: lazily recovered read engines over follower
+	// images, one query session each.
+	replicaReads bool
+	replicas     []*Engine
+	replicaSess  []*Session
+
 	meter    metrics.Meter // coordinator-side merge CPU
 	initSpan metrics.Span
 
-	mu       sync.Mutex
-	lastTrav metrics.Span
+	// failMu serializes failovers and guards the recovery bookkeeping; the
+	// shards slice itself needs no lock — element i is only touched by the
+	// lane that owns shard i, and the coordinator joins all lanes before
+	// reading it.
+	failMu        sync.Mutex
+	failovers     int
+	failoverSpans []metrics.Span
+	retiredEng    []*Engine
+	retiredReps   []*replicator
+
+	mu        sync.Mutex
+	lastTrav  metrics.Span
+	lastTails []int64
 }
 
 // ErrShardMismatch reports a sharded device set whose pool stamps do not
 // match the positions they were assembled in.
 var ErrShardMismatch = errors.New("core: pool shard stamp does not match its position")
 
+// ErrShardFailed reports which shard of a scatter-gather failed and why:
+// the Cause chain reaches the underlying device error (nvm.ErrFailPoint for
+// an injected failure), and for an exhausted failover it also carries the
+// recovery error.  Callers unwrap it with errors.As to learn the shard.
+type ErrShardFailed struct {
+	Shard int
+	Cause error
+}
+
+// Error implements error.
+func (e *ErrShardFailed) Error() string {
+	return fmt.Sprintf("core: shard %d failed: %v", e.Shard, e.Cause)
+}
+
+// Unwrap exposes the cause chain to errors.Is/As.
+func (e *ErrShardFailed) Unwrap() error { return e.Cause }
+
+// wrapShard types an error with its shard index, once.
+func wrapShard(shard int, err error) error {
+	var sf *ErrShardFailed
+	if errors.As(err, &sf) {
+		return err
+	}
+	return &ErrShardFailed{Shard: shard, Cause: err}
+}
+
+// isDeviceFailure reports whether err is the kind of failure failover can
+// mask: the shard's device died (injected fail point or closed device), as
+// opposed to a semantic error every replica would reproduce.
+func isDeviceFailure(err error) bool {
+	return errors.Is(err, nvm.ErrFailPoint) || errors.Is(err, nvm.ErrClosed)
+}
+
+// sanitizeOpts strips the per-construction fields from opts, leaving the
+// base configuration failover recovery reuses for Reopen/New on a promoted
+// follower.
+func sanitizeOpts(opts Options) Options {
+	opts.Device = nil
+	opts.ShardDevices = nil
+	opts.Replication = Replication{}
+	opts.Path = ""
+	return opts
+}
+
 // NewSharded builds one engine per shard grammar concurrently and returns
 // the coordinator.  Shard grammars come from sequitur.InferShards (or
 // cfg.ReadShards); all shards share one dictionary.  Per-shard devices are
 // created automatically, or injected via opts.ShardDevices; a file-backed
-// opts.Path becomes one file per shard (path + ".shardN").
+// opts.Path becomes one file per shard (path + ".shardN").  With
+// opts.Replication, each shard's followers are seeded with a snapshot of
+// the freshly built pool and then track it commit by commit.
 func NewSharded(gs []*cfg.Grammar, d *dict.Dictionary, opts Options) (*ShardedEngine, error) {
 	if len(gs) == 0 {
 		return nil, errEngine("new sharded", errors.New("no shard grammars"))
@@ -55,10 +131,16 @@ func NewSharded(gs []*cfg.Grammar, d *dict.Dictionary, opts Options) (*ShardedEn
 		return nil, errEngine("new sharded", fmt.Errorf("%d devices for %d shards",
 			len(opts.ShardDevices), len(gs)))
 	}
+	if opts.Replication.FollowerDevices != nil && len(opts.Replication.FollowerDevices) != len(gs) {
+		return nil, errEngine("new sharded", fmt.Errorf("%d follower slices for %d shards",
+			len(opts.Replication.FollowerDevices), len(gs)))
+	}
 	se := &ShardedEngine{
 		shards: make([]*Engine, len(gs)),
 		bases:  make([]uint32, len(gs)),
 		d:      d,
+		gs:     append([]*cfg.Grammar(nil), gs...),
+		opts:   sanitizeOpts(opts),
 	}
 	for i, g := range gs {
 		se.bases[i] = se.nfiles
@@ -100,6 +182,14 @@ func NewSharded(gs []*cfg.Grammar, d *dict.Dictionary, opts Options) (*ShardedEn
 			return nil, errEngine("new sharded", fmt.Errorf("shard %d: %w", i, err))
 		}
 	}
+	if err := se.attachReplication(opts.Replication); err != nil {
+		if opts.ShardDevices == nil {
+			for _, sh := range se.shards {
+				sh.Close()
+			}
+		}
+		return nil, errEngine("new sharded", err)
+	}
 	spans := make([]metrics.Span, len(se.shards))
 	for i, sh := range se.shards {
 		spans[i] = sh.InitSpan()
@@ -108,53 +198,133 @@ func NewSharded(gs []*cfg.Grammar, d *dict.Dictionary, opts Options) (*ShardedEn
 	return se, nil
 }
 
+// attachReplication seeds each shard's followers with a snapshot of its
+// primary's durable image (the shipped commit stream extends it from there)
+// and hooks the replicators into the primaries' drain paths.
+func (se *ShardedEngine) attachReplication(repl Replication) error {
+	repl = repl.withDefaults()
+	if !repl.enabled() {
+		return nil
+	}
+	se.replicaReads = repl.ReplicaReads
+	se.reps = make([]*replicator, len(se.shards))
+	se.replicas = make([]*Engine, len(se.shards))
+	se.replicaSess = make([]*Session, len(se.shards))
+	for i, sh := range se.shards {
+		var fdevs []*nvm.SimDevice
+		if repl.FollowerDevices != nil {
+			fdevs = repl.FollowerDevices[i]
+		} else {
+			dev := sh.Device()
+			for f := 0; f < repl.Followers; f++ {
+				fdevs = append(fdevs, nvm.NewWithModel(dev.Kind(), dev.Size(), dev.Model()))
+			}
+		}
+		if len(fdevs) == 0 {
+			continue
+		}
+		r := newReplicator(sh.Device(), fdevs, repl.Mode, repl.LagBound)
+		if err := r.bootstrap(); err != nil {
+			return err
+		}
+		sh.Device().SetShipper(r)
+		se.reps[i] = r
+	}
+	return nil
+}
+
 // ReopenSharded recovers a sharded engine from its per-shard devices after
 // a crash or restart: each shard recovers independently under the unsharded
 // recovery contract (devs[i] carries shard i's pool).  Pool shard stamps
 // are validated against the assembly order, so a reordered or foreign
 // device set fails with ErrShardMismatch rather than silently merging the
-// wrong documents.  Any shard whose initialization never completed fails
-// the whole reopen with ErrNeedsReload (the caller rebuilds that shard from
-// the compressed input); the per-shard infos of the shards examined so far
-// are returned alongside the error's shard index in its message.
+// wrong documents.  When opts.Replication injects follower devices, a shard
+// whose primary fails to recover falls over to the first follower that
+// passes the same recovery contract and stamp validation; only if every
+// replica of a shard is unrecoverable does the reopen fail, with
+// ErrShardFailed naming the shard (and ErrNeedsReload in its cause chain
+// when that shard's initialization never completed anywhere — the caller
+// rebuilds it from the compressed input).  The per-shard infos of the
+// shards examined so far are returned alongside the error.
 func ReopenSharded(devs []*nvm.SimDevice, d *dict.Dictionary, opts Options) (*ShardedEngine, []*RecoveryInfo, error) {
 	if len(devs) == 0 {
 		return nil, nil, errEngine("reopen sharded", errors.New("no shard devices"))
+	}
+	repl := opts.Replication.withDefaults()
+	if repl.FollowerDevices != nil && len(repl.FollowerDevices) != len(devs) {
+		return nil, nil, errEngine("reopen sharded", fmt.Errorf("%d follower slices for %d shards",
+			len(repl.FollowerDevices), len(devs)))
 	}
 	se := &ShardedEngine{
 		shards: make([]*Engine, len(devs)),
 		bases:  make([]uint32, len(devs)),
 		d:      d,
+		opts:   sanitizeOpts(opts),
 	}
-	infos := make([]*RecoveryInfo, 0, len(devs))
-	for i, dev := range devs {
+	reopenOne := func(i int, dev *nvm.SimDevice) (*Engine, *RecoveryInfo, error) {
 		o := opts
 		o.Device = nil
 		o.ShardDevices = nil
+		o.Replication = Replication{}
 		o.ShardIndex = uint32(i)
 		o.ShardCount = uint32(len(devs))
 		e, info, err := Reopen(dev, d, o)
 		if err != nil {
-			return nil, infos, fmt.Errorf("core: reopen shard %d: %w", i, err)
+			return nil, nil, err
 		}
 		if idx, cnt := e.pool.Shard(); idx != uint32(i) || cnt != uint32(len(devs)) {
-			return nil, infos, fmt.Errorf("core: shard %d: %w: pool stamped %d of %d",
-				i, ErrShardMismatch, idx, cnt)
+			return nil, nil, fmt.Errorf("%w: pool stamped %d of %d", ErrShardMismatch, idx, cnt)
 		}
 		// Build tags must agree across the set (and with the caller's
 		// expectation, when it has one): positional stamps cannot tell shard
 		// 1-of-4 of one unified build from shard 1-of-4 of another.
 		if tag := e.pool.Tag(); opts.BuildTag != 0 && tag != opts.BuildTag {
-			return nil, infos, fmt.Errorf("core: shard %d: %w: pool build tag %08x, want %08x",
-				i, ErrShardMismatch, tag, opts.BuildTag)
+			return nil, nil, fmt.Errorf("%w: pool build tag %08x, want %08x",
+				ErrShardMismatch, tag, opts.BuildTag)
 		} else if i > 0 && tag != se.shards[0].pool.Tag() {
-			return nil, infos, fmt.Errorf("core: shard %d: %w: pool build tag %08x differs from shard 0's %08x",
-				i, ErrShardMismatch, tag, se.shards[0].pool.Tag())
+			return nil, nil, fmt.Errorf("%w: pool build tag %08x differs from shard 0's %08x",
+				ErrShardMismatch, tag, se.shards[0].pool.Tag())
+		}
+		return e, info, nil
+	}
+	remaining := make([][]*nvm.SimDevice, len(devs))
+	infos := make([]*RecoveryInfo, 0, len(devs))
+	for i, dev := range devs {
+		e, info, err := reopenOne(i, dev)
+		if repl.FollowerDevices != nil {
+			remaining[i] = repl.FollowerDevices[i]
+			if err != nil {
+				// Primary unrecoverable: promote the first follower whose
+				// image passes the identical contract.
+				for fi, fdev := range repl.FollowerDevices[i] {
+					fe, finfo, ferr := reopenOne(i, fdev)
+					if ferr == nil {
+						e, info, err = fe, finfo, nil
+						rest := make([]*nvm.SimDevice, 0, len(repl.FollowerDevices[i])-1)
+						rest = append(rest, repl.FollowerDevices[i][:fi]...)
+						rest = append(rest, repl.FollowerDevices[i][fi+1:]...)
+						remaining[i] = rest
+						break
+					}
+				}
+			}
+		}
+		if err != nil {
+			return nil, infos, wrapShard(i, err)
 		}
 		se.shards[i] = e
 		se.bases[i] = se.nfiles
 		se.nfiles += e.numFiles
 		infos = append(infos, info)
+	}
+	if repl.enabled() {
+		r2 := repl
+		if repl.FollowerDevices != nil {
+			r2.FollowerDevices = remaining
+		}
+		if err := se.attachReplication(r2); err != nil {
+			return nil, infos, errEngine("reopen sharded", err)
+		}
 	}
 	return se, infos, nil
 }
@@ -173,82 +343,329 @@ func (e shardedEnv) NumFiles() int              { return e.nfiles }
 func (e shardedEnv) SeqOf(uint64) analytics.Seq { panic("core: merge env resolves no sequence keys") }
 func (e shardedEnv) Charge(n, perOp int64)      { e.meter.Charge(n, perOp) }
 
-// scatterGather runs the batch over the shards under a planned lane
-// schedule — the fan-out planner packs shards onto parallel lanes from
-// their estimated costs, so trivial shards share a lane instead of each
-// paying dispatch overhead — then merges the per-shard results on meter's
-// account.  The schedule is returned so callers can aggregate modeled spans
-// the same way the work actually ran.
-func (se *ShardedEngine) scatterGather(ops []analytics.Op,
-	run func(shard int, ops []analytics.Op) ([]any, error),
-	meter *metrics.Meter) ([]any, [][]int, error) {
-	costs := make([]int64, len(se.shards))
-	for i, sh := range se.shards {
-		costs[i] = sh.planCost(len(ops))
+// unit is one dispatchable slice of a scatter-gather: a shard, the indices
+// of the batch ops it serves, and whether the shard's read replica (a query
+// session over a recovered follower image) serves it instead of the
+// primary.  Without replica reads every shard is one unit carrying the
+// whole batch.
+type unit struct {
+	shard   int
+	opIdx   []int
+	replica bool
+}
+
+// plainUnits is the one-unit-per-shard schedule.
+func plainUnits(k, numOps int) []unit {
+	idx := make([]int, numOps)
+	for j := range idx {
+		idx[j] = j
+	}
+	units := make([]unit, k)
+	for i := range units {
+		units[i] = unit{shard: i, opIdx: idx}
+	}
+	return units
+}
+
+// planUnits builds the engine path's dispatch schedule.  With replica reads
+// enabled, a multi-op batch is split between each shard's primary and its
+// read replica, halving the shard's serial tail on the lane schedule.
+func (se *ShardedEngine) planUnits(numOps int) []unit {
+	if !se.replicaReads || numOps < 2 {
+		return plainUnits(len(se.shards), numOps)
+	}
+	idx := make([]int, numOps)
+	for j := range idx {
+		idx[j] = j
+	}
+	units := make([]unit, 0, 2*len(se.shards))
+	for i := range se.shards {
+		if se.ensureReplica(i) != nil {
+			half := (numOps + 1) / 2
+			units = append(units,
+				unit{shard: i, opIdx: idx[:half]},
+				unit{shard: i, opIdx: idx[half:], replica: true})
+		} else {
+			units = append(units, unit{shard: i, opIdx: idx})
+		}
+	}
+	return units
+}
+
+// ensureReplica lazily recovers shard i's read replica: the freshest live
+// follower's durable image is cloned (leaving the follower itself pure for
+// failover) and reopened under the ordinary recovery contract, and a query
+// session over the clone serves reads.  Returns nil when the shard has no
+// usable replica.  Query results depend only on the immutable init
+// structures, so any post-init consistent image answers bit-identically to
+// the primary.
+func (se *ShardedEngine) ensureReplica(i int) *Session {
+	if se.replicaSess == nil {
+		return nil
+	}
+	if se.replicaSess[i] != nil {
+		return se.replicaSess[i]
+	}
+	rep := se.reps[i]
+	if rep == nil {
+		return nil
+	}
+	devs := rep.liveFollowers()
+	if len(devs) == 0 {
+		return nil
+	}
+	clone, err := devs[0].CloneDurable()
+	if err != nil {
+		return nil
+	}
+	o := se.opts
+	o.ShardIndex = uint32(i)
+	o.ShardCount = uint32(len(se.shards))
+	e, _, err := Reopen(clone, se.d, o)
+	if err != nil {
+		_ = clone.Discard()
+		return nil
+	}
+	se.replicas[i] = e
+	se.replicaSess[i] = e.NewSession()
+	return se.replicaSess[i]
+}
+
+// scatterGather runs the batch's units under a planned lane schedule — the
+// fan-out planner packs units onto parallel lanes from their estimated
+// costs, so trivial shards share a lane instead of each paying dispatch
+// overhead — then merges the per-shard results on meter's account.  When a
+// unit fails and a failover hook is given, the lane retires the failed
+// shard through the hook and re-dispatches the unit against the recovered
+// engine; errors that survive failover (or occur without one) surface as
+// ErrShardFailed.  The schedule and per-unit spans are returned so callers
+// can aggregate modeled time the same way the work actually ran.
+func (se *ShardedEngine) scatterGather(ops []analytics.Op, units []unit,
+	run func(u unit, ops []analytics.Op) ([]any, metrics.Span, error),
+	failover func(u unit, cause error) error,
+	meter *metrics.Meter) ([]any, [][]int, []metrics.Span, error) {
+	costs := make([]int64, len(units))
+	for ui, u := range units {
+		costs[ui] = se.shards[u.shard].planCost(len(u.opIdx))
 	}
 	lanes := planFanout(costs)
-	outs := make([][]any, len(se.shards))
-	errs := make([]error, len(se.shards))
+	outs := make([][]any, len(units))
+	spans := make([]metrics.Span, len(units))
+	errs := make([]error, len(units))
 	var wg sync.WaitGroup
 	for _, lane := range lanes {
 		wg.Add(1)
 		go func(lane []int) {
 			defer wg.Done()
-			for _, i := range lane {
-				outs[i], errs[i] = run(i, ops)
+			for _, ui := range lane {
+				u := units[ui]
+				sub := make([]analytics.Op, len(u.opIdx))
+				for k, j := range u.opIdx {
+					sub[k] = ops[j]
+				}
+				out, span, err := run(u, sub)
+				for err != nil && failover != nil && isDeviceFailure(err) {
+					// Retire the lane's failed shard and re-dispatch its ops
+					// against the recovered follower.  The loop continues as
+					// long as promotion succeeds, consuming one replica per
+					// round; a shard with no replica left fails typed.
+					if ferr := failover(u, err); ferr != nil {
+						err = ferr
+						break
+					}
+					out, span, err = run(u, sub)
+				}
+				if err != nil {
+					errs[ui] = wrapShard(u.shard, err)
+					continue
+				}
+				outs[ui], spans[ui] = out, span
 			}
 		}(lane)
 	}
 	wg.Wait()
-	for i, err := range errs {
+	for _, err := range errs {
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: shard %d: %w", i, err)
+			return nil, nil, nil, err
 		}
 	}
 	// Each dispatched lane charges the coordinator its scheduling and join
 	// bookkeeping, the cost the fan-out planner weighs against parallelism.
 	meter.Charge(int64(len(lanes)), laneDispatchCost)
 	env := shardedEnv{d: se.d, nfiles: int(se.nfiles), meter: meter}
+	shardOut := make([][]any, len(se.shards))
+	for i := range shardOut {
+		shardOut[i] = make([]any, len(ops))
+	}
+	for ui, u := range units {
+		for k, j := range u.opIdx {
+			shardOut[u.shard][j] = outs[ui][k]
+		}
+	}
 	results := make([]any, len(ops))
 	for j, op := range ops {
 		per := make([]any, len(se.shards))
 		for i := range se.shards {
-			per[i] = outs[i][j]
+			per[i] = shardOut[i][j]
 		}
 		r, err := analytics.MergeShardResults(op, env, per, se.bases)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		results[j] = r
 	}
-	return results, lanes, nil
+	return results, lanes, spans, nil
+}
+
+// failoverUnit is the engine path's failover hook: promote the failed
+// shard's follower and swap the recovered engine in.  Replica units have no
+// further replica behind them — their clone device has no fail points — so
+// they fail typed immediately.
+func (se *ShardedEngine) failoverUnit(u unit, cause error) error {
+	if u.replica {
+		return wrapShard(u.shard, cause)
+	}
+	return se.failoverShard(u.shard, cause)
+}
+
+// failoverShard retires shard i's primary and recovers the shard from its
+// freshest follower: queued ship batches are applied (they live in
+// coordinator memory, which survives the device failure), the follower is
+// promoted and reopened under the unsharded recovery contract — or, when
+// its image predates a completed initialization, rebuilt from the retained
+// shard grammar — its stamps are validated exactly as in ReopenSharded, and
+// the remaining followers are re-seeded from the new primary.  The measured
+// recovery span is folded into the batch's traversal span as serial
+// critical-path work.  Returns nil when the shard is ready to re-dispatch.
+func (se *ShardedEngine) failoverShard(i int, cause error) error {
+	se.failMu.Lock()
+	defer se.failMu.Unlock()
+	var rep *replicator
+	if se.reps != nil {
+		rep = se.reps[i]
+	}
+	if rep == nil {
+		return wrapShard(i, cause)
+	}
+	old := se.shards[i]
+	old.Device().SetShipper(nil)
+	fdev, rest, perr := rep.promote()
+	if perr != nil {
+		return &ErrShardFailed{Shard: i, Cause: errors.Join(cause, perr)}
+	}
+	sp := metrics.Start(fdev, &se.meter)
+	o := se.opts
+	o.ShardIndex = uint32(i)
+	o.ShardCount = uint32(len(se.shards))
+	ne, _, rerr := Reopen(fdev, se.d, o)
+	switch {
+	case rerr == nil:
+		if idx, cnt := ne.pool.Shard(); idx != uint32(i) || cnt != uint32(len(se.shards)) {
+			err := fmt.Errorf("%w: follower pool stamped %d of %d", ErrShardMismatch, idx, cnt)
+			if cerr := ne.Close(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
+			return &ErrShardFailed{Shard: i, Cause: errors.Join(cause, err)}
+		}
+		if tag := ne.pool.Tag(); se.opts.BuildTag != 0 && tag != se.opts.BuildTag {
+			err := fmt.Errorf("%w: follower pool build tag %08x, want %08x",
+				ErrShardMismatch, tag, se.opts.BuildTag)
+			if cerr := ne.Close(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
+			return &ErrShardFailed{Shard: i, Cause: errors.Join(cause, err)}
+		}
+	case errors.Is(rerr, ErrNeedsReload) && se.gs != nil && se.gs[i] != nil:
+		// The follower's image predates a completed initialization (it was
+		// torn or lag-bounded very early): rebuild the shard from its
+		// retained grammar on a fresh device, the same reload contract the
+		// crash harness exercises on primaries.
+		if derr := fdev.Discard(); derr != nil {
+			return &ErrShardFailed{Shard: i, Cause: errors.Join(cause, rerr, derr)}
+		}
+		ne2, nerr := New(se.gs[i], se.d, o)
+		if nerr != nil {
+			return &ErrShardFailed{Shard: i, Cause: errors.Join(cause, rerr, nerr)}
+		}
+		ne = ne2
+	default:
+		return &ErrShardFailed{Shard: i, Cause: errors.Join(cause, rerr)}
+	}
+	sp.Stop()
+	se.shards[i] = ne
+	se.retiredEng = append(se.retiredEng, old)
+	se.retiredReps = append(se.retiredReps, rep)
+	se.reps[i] = nil
+	if len(rest) > 0 {
+		// Re-seed the surviving followers from the recovered primary and
+		// keep shipping; a shard can survive as many failures as it has
+		// replicas.
+		nr := newReplicator(ne.Device(), rest, rep.mode, rep.lag)
+		if err := nr.bootstrap(); err == nil {
+			ne.Device().SetShipper(nr)
+			se.reps[i] = nr
+		}
+	}
+	se.failovers++
+	se.failoverSpans = append(se.failoverSpans, *sp)
+	return nil
+}
+
+// takeFailoverSpans drains the recovery spans accumulated during the
+// current batch.
+func (se *ShardedEngine) takeFailoverSpans() []metrics.Span {
+	se.failMu.Lock()
+	defer se.failMu.Unlock()
+	spans := se.failoverSpans
+	se.failoverSpans = nil
+	return spans
 }
 
 // RunOps implements analytics.Executor: the batch executes fused on every
 // shard concurrently, and the per-shard results are merged into corpus-wide
 // results.  results[i] corresponds to ops[i] with the op's canonical result
-// type, bit-identical to an unsharded engine over the same corpus.
+// type, bit-identical to an unsharded engine over the same corpus — also
+// when a shard fails over to its follower mid-batch, and when replica reads
+// split the batch across primary and follower images.
 func (se *ShardedEngine) RunOps(ops []analytics.Op) ([]any, error) {
 	if len(ops) == 0 {
 		return nil, nil
 	}
 	cpu0 := se.meter.Nanos()
-	results, lanes, err := se.scatterGather(ops, func(i int, ops []analytics.Op) ([]any, error) {
-		return se.shards[i].RunOps(ops)
-	}, &se.meter)
+	units := se.planUnits(len(ops))
+	results, lanes, spans, err := se.scatterGather(ops, units,
+		func(u unit, sub []analytics.Op) ([]any, metrics.Span, error) {
+			if u.replica {
+				sess := se.replicaSess[u.shard]
+				sp := metrics.Start(se.replicas[u.shard].Device(), sess.Meter())
+				res, err := sess.RunOps(sub)
+				if err != nil {
+					return nil, metrics.Span{}, err
+				}
+				return res, *sp.Stop(), nil
+			}
+			sh := se.shards[u.shard] // re-read: failover may have swapped it
+			res, err := sh.RunOps(sub)
+			if err != nil {
+				return nil, metrics.Span{}, err
+			}
+			return res, sh.LastTraversalSpan(), nil
+		},
+		se.failoverUnit, &se.meter)
 	if err != nil {
 		return nil, err
 	}
-	spans := make([]metrics.Span, len(se.shards))
-	for i, sh := range se.shards {
-		spans[i] = sh.LastTraversalSpan()
-	}
-	// Aggregate along the planned schedule: shards on one lane ran serially,
-	// lanes in parallel, and the coordinator's merge extends the critical
-	// path.
+	// Aggregate along the planned schedule: units on one lane ran serially,
+	// lanes in parallel, the coordinator's merge extends the critical path,
+	// and any failover recovery extends it further as measured serial work.
 	trav := metrics.MergeScheduled(lanes, spans).AddSerial(se.meter.Nanos() - cpu0)
+	tails := metrics.LaneTails(lanes, spans)
+	for _, fs := range se.takeFailoverSpans() {
+		trav = trav.AddSerialSpan(fs)
+	}
 	se.mu.Lock()
 	se.lastTrav = trav
+	se.lastTails = tails
 	se.mu.Unlock()
 	return results, nil
 }
@@ -323,7 +740,8 @@ func (se *ShardedEngine) RankedInvertedIndex() (map[analytics.Seq][]analytics.Do
 // per shard engine, run in parallel and merged like the engine's task path,
 // with all merge-side state session-local.  Sessions model the post-load
 // query phase and must not run concurrently with engine task methods or
-// Close, only with each other.
+// Close, only with each other.  Sessions never mutate devices, so they have
+// no failover path; a device error surfaces as ErrShardFailed.
 type ShardedSession struct {
 	se       *ShardedEngine
 	sessions []*Session
@@ -344,9 +762,12 @@ func (ss *ShardedSession) RunOps(ops []analytics.Op) ([]any, error) {
 	if len(ops) == 0 {
 		return nil, nil
 	}
-	results, _, err := ss.se.scatterGather(ops, func(i int, ops []analytics.Op) ([]any, error) {
-		return ss.sessions[i].RunOps(ops)
-	}, &ss.meter)
+	units := plainUnits(len(ss.sessions), len(ops))
+	results, _, _, err := ss.se.scatterGather(ops, units,
+		func(u unit, sub []analytics.Op) ([]any, metrics.Span, error) {
+			res, err := ss.sessions[u.shard].RunOps(sub)
+			return res, metrics.Span{}, err
+		}, nil, &ss.meter)
 	return results, err
 }
 
@@ -369,22 +790,73 @@ func (ss *ShardedSession) Meter() *metrics.Meter { return &ss.meter }
 func (se *ShardedEngine) NumShards() int { return len(se.shards) }
 
 // Shard returns shard i's engine, for inspection and shard-local recovery
-// checks; mutating it directly bypasses the coordinator.
+// checks; mutating it directly bypasses the coordinator.  After a failover
+// this is the recovered engine, not the retired primary.
 func (se *ShardedEngine) Shard(i int) *Engine { return se.shards[i] }
 
 // DocBases returns the global index of each shard's first document.
 func (se *ShardedEngine) DocBases() []uint32 { return se.bases }
 
+// Followers returns shard i's current live follower devices, as they stand
+// — queued async batches are not applied first (see ReplicaBarrier).  Nil
+// when the shard is unreplicated.
+func (se *ShardedEngine) Followers(i int) []*nvm.SimDevice {
+	se.failMu.Lock()
+	defer se.failMu.Unlock()
+	if se.reps == nil || se.reps[i] == nil {
+		return nil
+	}
+	r := se.reps[i]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var devs []*nvm.SimDevice
+	for _, f := range r.followers {
+		if f.err == nil {
+			devs = append(devs, f.dev)
+		}
+	}
+	return devs
+}
+
+// ReplicaBarrier applies every queued async ship batch, bringing all live
+// followers current with their primaries' durable images.
+func (se *ShardedEngine) ReplicaBarrier() {
+	se.failMu.Lock()
+	defer se.failMu.Unlock()
+	for _, r := range se.reps {
+		if r != nil {
+			r.catchUp()
+		}
+	}
+}
+
+// FailoverCount reports how many shard failovers this engine has performed.
+func (se *ShardedEngine) FailoverCount() int {
+	se.failMu.Lock()
+	defer se.failMu.Unlock()
+	return se.failovers
+}
+
 // InitSpan reports the parallel build: critical path across shards, summed
 // device statistics.
 func (se *ShardedEngine) InitSpan() metrics.Span { return se.initSpan }
 
-// LastTraversalSpan reports the last scatter-gather: the slowest shard's
-// traversal plus the coordinator's merge.
+// LastTraversalSpan reports the last scatter-gather: the slowest lane's
+// traversal plus the coordinator's merge and any failover recovery.
 func (se *ShardedEngine) LastTraversalSpan() metrics.Span {
 	se.mu.Lock()
 	defer se.mu.Unlock()
 	return se.lastTrav
+}
+
+// LastLaneTails reports each lane's serial modeled total for the last
+// engine batch — the distribution MergeScheduled's critical path is the max
+// of.  Replica reads shorten the longest tail by splitting shard batches
+// across primary and follower images.
+func (se *ShardedEngine) LastLaneTails() []int64 {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return append([]int64(nil), se.lastTails...)
 }
 
 // NVMBytes sums pool residency across shards.
@@ -414,12 +886,37 @@ func (se *ShardedEngine) DeviceStats() nvm.Stats {
 	return st
 }
 
-// Close releases every shard's simulated device.
+// Close releases every shard's simulated device, the follower devices, any
+// read-replica clones, and the primaries retired by failovers.
 func (se *ShardedEngine) Close() error {
 	var errs []error
 	for i, sh := range se.shards {
 		if err := sh.Close(); err != nil {
 			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	for _, r := range se.reps {
+		if r != nil {
+			if err := r.close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	for _, r := range se.retiredReps {
+		if err := r.close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	for _, e := range se.retiredEng {
+		if err := e.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	for _, e := range se.replicas {
+		if e != nil {
+			if err := e.Close(); err != nil {
+				errs = append(errs, err)
+			}
 		}
 	}
 	return errors.Join(errs...)

@@ -193,6 +193,35 @@ func (s Span) AddSerial(cpuNanos int64) Span {
 	return s
 }
 
+// AddSerialSpan extends a span with measured work that ran serially after
+// it on the same critical path — a failover recovery extending a
+// scatter-gather batch.  Device statistics, CPU nanos, and wall time add;
+// the extension's Total lengthens the critical path.  The receiver's total
+// is frozen first, so the added device work is not double-counted through
+// the Modeled+CPU fallback.
+func (s Span) AddSerialSpan(t Span) Span {
+	total := int64(s.Total()) + int64(t.Total())
+	s.Wall += t.Wall
+	s.Device = s.Device.Add(t.Device)
+	s.CPUNanos += t.CPUNanos
+	s.CriticalNanos = total
+	return s
+}
+
+// LaneTails reports each lane's serial total under a schedule — the values
+// MergeScheduled takes the maximum of.  The failover benchmark uses it to
+// show the tail lane before and after replica reads split shard batches
+// across primary and follower images.
+func LaneTails(lanes [][]int, spans []Span) []int64 {
+	tails := make([]int64, len(lanes))
+	for l, lane := range lanes {
+		for _, i := range lane {
+			tails[l] += int64(spans[i].Total())
+		}
+	}
+	return tails
+}
+
 // Breakdown records per-phase spans for one task run (Table II).
 type Breakdown struct {
 	Init      Span

@@ -2,6 +2,7 @@ package nvm
 
 import (
 	"fmt"
+	"hash/crc32"
 	"math/rand"
 	"os"
 	"sort"
@@ -96,7 +97,42 @@ type SimDevice struct {
 	// consistently across a golden run and its replays.
 	persistEvents int64
 
+	// shipper, when non-nil, receives every successfully drained commit
+	// batch (see SetShipper).  Guarded by mu.
+	shipper Shipper
+
 	counters
+}
+
+// ShipRange is one durable-image delta within a shipped commit batch: the
+// bytes the primary just made durable at Off.  Data aliases internal device
+// memory and is valid only for the duration of the ShipCommit call; a
+// shipper that retains a batch must copy it.
+type ShipRange struct {
+	Off  int64
+	Data []byte
+}
+
+// Shipper receives the primary's drained persistence stream.  Drain invokes
+// ShipCommit after the whole pending set has been persisted and synced, with
+// the retired ranges in flush order — so the batch is exactly the delta that
+// took the durable image from one commit boundary to the next, and applying
+// shipped batches in order reproduces the primary's durable image byte for
+// byte.  An error from ShipCommit propagates out of Drain *after* local
+// durability is complete; shippers that must not fail the primary (follower
+// replication) swallow downstream errors and return nil.  The shipper must
+// not call back into the shipping device.
+type Shipper interface {
+	ShipCommit(batch []ShipRange) error
+}
+
+// SetShipper attaches (or, with nil, detaches) the device's commit shipper.
+// Volatile devices never ship — they have no durable image to mirror — and
+// empty drains are skipped.
+func (d *SimDevice) SetShipper(s Shipper) {
+	d.mu.Lock()
+	d.shipper = s
+	d.mu.Unlock()
 }
 
 // pendingRange is one flushed-but-not-drained byte range.  data == nil means
@@ -658,6 +694,10 @@ func (d *SimDevice) Drain() error {
 	if d.closed {
 		return ErrClosed
 	}
+	var batch []ShipRange
+	if d.shipper != nil && len(d.pending) > 0 {
+		batch = make([]ShipRange, 0, len(d.pending))
+	}
 	for _, p := range d.pending {
 		src := p.data
 		if src == nil {
@@ -666,9 +706,21 @@ func (d *SimDevice) Drain() error {
 		if err := d.store.persist(p.off, src); err != nil {
 			return err
 		}
+		if batch != nil {
+			batch = append(batch, ShipRange{Off: p.off, Data: src})
+		}
 	}
 	d.dropPendingLocked()
-	return d.store.sync()
+	if err := d.store.sync(); err != nil {
+		return err
+	}
+	if len(batch) > 0 {
+		// Ship after the fence: the batch is a committed durable delta, never
+		// speculative.  Data windows stay valid here — dropPendingLocked only
+		// released the pendingRange headers, and mu is still held.
+		return d.shipper.ShipCommit(batch)
+	}
+	return nil
 }
 
 func (d *SimDevice) dropPendingLocked() {
@@ -808,6 +860,42 @@ func (d *SimDevice) CloneDurable() (*SimDevice, error) {
 	}
 	nd.pendingLo, nd.pendingHi = d.pendingLo, d.pendingHi
 	return nd, nil
+}
+
+// ReadDurable copies the durable image into dst, which must be exactly
+// Size() bytes.  The copy is host-side and uncharged: replication bootstrap
+// streams the snapshot off the modeled critical path (the cost of making it
+// durable again is charged at the destination device, per the
+// persist-at-the-destination discipline).  A volatile device has no durable
+// contents, so dst comes back zero-filled.
+func (d *SimDevice) ReadDurable(dst []byte) error {
+	if int64(len(dst)) != int64(len(d.buf)) {
+		return fmt.Errorf("%w: durable read of %d bytes from %d-byte device",
+			ErrOutOfRange, len(dst), len(d.buf))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if d.store == nil {
+		clear(dst)
+		return nil
+	}
+	return d.store.load(dst)
+}
+
+// DurableCRC returns the IEEE CRC-32 of the durable image — the replication
+// invariant tests compare a follower's image against the primary's without
+// materializing both for inspection.  Volatile devices checksum their
+// (empty) durable contents: the CRC of a zero-filled image.
+func (d *SimDevice) DurableCRC() (uint32, error) {
+	buf := getImage(int64(len(d.buf)))
+	defer putImage(buf, int64(len(buf)))
+	if err := d.ReadDurable(buf); err != nil {
+		return 0, err
+	}
+	return crc32.ChecksumIEEE(buf), nil
 }
 
 // PersistEvents returns how many persistence events (Flush and Drain calls,

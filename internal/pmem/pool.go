@@ -33,6 +33,12 @@ const (
 	headerSize = 192
 	rootSlots  = 16
 
+	// HeaderSize exports the pool-header length for callers that must
+	// respect the header's persistence ordering without parsing it — the
+	// replication snapshot install persists the body before the header so a
+	// torn install never exposes a header vouching for missing contents.
+	HeaderSize = headerSize
+
 	offMagic   = 0
 	offVersion = 8
 	offShard   = 12 // flags word: shard index (low 16) | shard count (high 16)

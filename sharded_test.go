@@ -2,8 +2,12 @@ package ntadoc
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"testing"
+
+	"github.com/text-analytics/ntadoc/internal/core"
+	"github.com/text-analytics/ntadoc/internal/nvm"
 )
 
 // shardDocs is large enough to split three ways with shared phrases across
@@ -148,6 +152,91 @@ func TestShardedEngineMatchesUnsharded(t *testing.T) {
 	}
 	if !reflect.DeepEqual(dwc, want.WordCount) {
 		t.Error("DRAM engine on sharded archive differs")
+	}
+}
+
+// TestReplicatedEngineFailover checks the public replication options: with
+// Replicas set, killing one shard's primary mid-batch is masked by follower
+// failover with bit-identical results, and replica reads stay identical too.
+func TestReplicatedEngineFailover(t *testing.T) {
+	plain, err := Compress(shardDocs)
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	ref, err := NewEngine(plain, Options{})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	defer ref.Close()
+	want, err := ref.RunBatch(AllTasks...)
+	if err != nil {
+		t.Fatalf("unsharded RunBatch: %v", err)
+	}
+	a, err := CompressSharded(shardDocs, 3)
+	if err != nil {
+		t.Fatalf("CompressSharded: %v", err)
+	}
+	e, err := NewEngine(a, Options{Replicas: 1, Persistence: OperationLevel})
+	if err != nil {
+		t.Fatalf("replicated NewEngine: %v", err)
+	}
+	defer e.Close()
+	dev := e.sh.Shard(1).Device()
+	dev.FailFromPersistEvent(dev.PersistEvents() + 1)
+	got, err := e.RunBatch(AllTasks...)
+	if err != nil {
+		t.Fatalf("failover did not mask the primary death: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("failover batch differs from unsharded")
+	}
+	if e.sh.FailoverCount() == 0 {
+		t.Error("no failover performed despite the armed primary")
+	}
+
+	rr, err := NewEngine(a, Options{Replicas: 1, ReplicaReads: true})
+	if err != nil {
+		t.Fatalf("replica-read NewEngine: %v", err)
+	}
+	defer rr.Close()
+	got, err = rr.RunBatch(AllTasks...)
+	if err != nil {
+		t.Fatalf("replica-read RunBatch: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("replica-read batch differs from unsharded")
+	}
+}
+
+// TestRunBatchShardError asserts the typed scatter-gather error surfaces
+// through the public batch API: with no replica to fall over to, the error
+// names the failed shard and carries the device error in its chain.
+func TestRunBatchShardError(t *testing.T) {
+	a, err := CompressSharded(shardDocs, 3)
+	if err != nil {
+		t.Fatalf("CompressSharded: %v", err)
+	}
+	e, err := NewEngine(a, Options{Persistence: OperationLevel})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	defer e.Close()
+	const victim = 2
+	dev := e.sh.Shard(victim).Device()
+	dev.FailFromPersistEvent(dev.PersistEvents() + 1)
+	_, err = e.RunBatch(AllTasks...)
+	if err == nil {
+		t.Fatal("armed shard produced no error")
+	}
+	var sf *core.ErrShardFailed
+	if !errors.As(err, &sf) {
+		t.Fatalf("err = %v, want core.ErrShardFailed in chain", err)
+	}
+	if sf.Shard != victim {
+		t.Errorf("ErrShardFailed.Shard = %d, want %d", sf.Shard, victim)
+	}
+	if !errors.Is(err, nvm.ErrFailPoint) {
+		t.Errorf("err = %v, want nvm.ErrFailPoint in chain", err)
 	}
 }
 
