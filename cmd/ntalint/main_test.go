@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestSmoke builds and runs the standalone binary over the whole module: the
+// tree must be lint-clean, so the run exits 0.  This is the same invocation
+// the Makefile's lint target uses.
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and analyzes the whole module")
+	}
+	cmd := exec.Command("go", "run", "./cmd/ntalint", "./...")
+	cmd.Dir = "../.."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("ntalint over ./... failed: %v\n%s", err, out)
+	}
+	if len(out) != 0 {
+		t.Fatalf("ntalint over a clean tree produced output:\n%s", out)
+	}
+}
+
+// TestVersionProbe answers the go command's vettool version handshake.
+func TestVersionProbe(t *testing.T) {
+	cmd := exec.Command("go", "run", "./cmd/ntalint", "-V=full")
+	cmd.Dir = "../.."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("-V=full failed: %v\n%s", err, out)
+	}
+	if !strings.HasPrefix(string(out), "ntalint version ") {
+		t.Fatalf("-V=full answered %q; the go command requires a 'name version ...' line", out)
+	}
+}

@@ -337,6 +337,7 @@ type MapCounts map[uint64]uint64
 
 func (m MapCounts) Len() int64 { return int64(len(m)) }
 func (m MapCounts) Range(fn func(k, v uint64) bool) {
+	//ntalint:ignore determcheck Counts.Range order is contractually unspecified; folds consume it commutatively and sort at Finish.
 	for k, v := range m {
 		if !fn(k, v) {
 			return
@@ -349,6 +350,7 @@ type WordMapCounts map[uint32]uint64
 
 func (m WordMapCounts) Len() int64 { return int64(len(m)) }
 func (m WordMapCounts) Range(fn func(k, v uint64) bool) {
+	//ntalint:ignore determcheck Counts.Range order is contractually unspecified; folds consume it commutatively and sort at Finish.
 	for k, v := range m {
 		if !fn(uint64(k), v) {
 			return
@@ -397,15 +399,24 @@ func (si *SeqInterner) Key(q Seq) uint64 {
 // SeqOf resolves a key previously returned by Key.
 func (si *SeqInterner) SeqOf(k uint64) Seq { return si.seqs[k] }
 
-// Counts interns every key of m and returns a materialized view.
+// Counts interns every key of m and returns a materialized view.  Keys are
+// interned in canonical sequence order: interning straight off the map range
+// would let Go's randomized iteration order pick the dense keys, so interned
+// results (and everything keyed by them downstream) would differ between
+// identical runs.
 func (si *SeqInterner) Counts(m map[Seq]uint64) Counts {
+	qs := make([]Seq, 0, len(m))
+	for q := range m {
+		qs = append(qs, q)
+	}
+	slices.SortFunc(qs, CompareSeq)
 	kv := KVCounts{
 		Keys: make([]uint64, 0, len(m)),
 		Vals: make([]uint64, 0, len(m)),
 	}
-	for q, c := range m {
+	for _, q := range qs {
 		kv.Keys = append(kv.Keys, si.Key(q))
-		kv.Vals = append(kv.Vals, c)
+		kv.Vals = append(kv.Vals, m[q])
 	}
 	return kv
 }

@@ -6,7 +6,10 @@
 // n-gram counts, and the head/tail structures of §IV-D).
 package analytics
 
-import "fmt"
+import (
+	"cmp"
+	"fmt"
+)
 
 // Task identifies one of the paper's six benchmark tasks.
 type Task int
@@ -51,6 +54,17 @@ const SeqLen = 3
 
 // Seq is one word sequence (n-gram).
 type Seq [SeqLen]uint32
+
+// CompareSeq orders sequences lexicographically — the canonical order used
+// wherever Seq-keyed maps must be walked deterministically.
+func CompareSeq(a, b Seq) int {
+	for i := range a {
+		if a[i] != b[i] {
+			return cmp.Compare(a[i], b[i])
+		}
+	}
+	return 0
+}
 
 // WordFreq is a word with its frequency; the element type of sort and term
 // vector results.

@@ -3,6 +3,7 @@ package cfg
 import (
 	"fmt"
 	"io"
+	"slices"
 
 	"github.com/text-analytics/ntadoc/internal/dict"
 )
@@ -30,8 +31,15 @@ func (g *Grammar) WriteDOT(w io.Writer, d *dict.Dictionary) error {
 				edges[s.RuleIndex()]++
 			}
 		}
-		for child, n := range edges {
-			if n > 1 {
+		// Emit edges in child order so the rendered DOT is byte-identical
+		// across runs (map iteration order is randomized).
+		children := make([]uint32, 0, len(edges))
+		for child := range edges {
+			children = append(children, child)
+		}
+		slices.Sort(children)
+		for _, child := range children {
+			if n := edges[child]; n > 1 {
 				fmt.Fprintf(w, "  r%d -> r%d [label=\"x%d\"];\n", ri, child, n)
 			} else {
 				fmt.Fprintf(w, "  r%d -> r%d;\n", ri, child)

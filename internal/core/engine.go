@@ -257,14 +257,7 @@ func preprocess(g *cfg.Grammar, opts Options) (*prepState, error) {
 					keys = append(keys, q)
 				}
 			}
-			slices.SortFunc(keys, func(a, b analytics.Seq) int {
-				for t := 0; t < analytics.SeqLen; t++ {
-					if a[t] != b[t] {
-						return cmp.Compare(a[t], b[t])
-					}
-				}
-				return 0
-			})
+			slices.SortFunc(keys, analytics.CompareSeq)
 			for _, q := range keys {
 				p.seqIDs[q] = uint32(len(p.seqList))
 				p.seqList = append(p.seqList, q)

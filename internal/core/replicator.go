@@ -94,7 +94,7 @@ type replicator struct {
 	primary   *nvm.SimDevice
 	mode      ShipMode
 	lag       int
-	followers []*follower
+	followers []*follower // guarded by mu
 }
 
 var _ nvm.Shipper = (*replicator)(nil)

@@ -42,7 +42,7 @@ type ShardedEngine struct {
 	// options recovery reuses, and one replicator per replicated shard.
 	gs   []*cfg.Grammar
 	opts Options
-	reps []*replicator
+	reps []*replicator // guarded by failMu
 
 	// Replica-read state: lazily recovered read engines over follower
 	// images, one query session each.
@@ -58,14 +58,14 @@ type ShardedEngine struct {
 	// lane that owns shard i, and the coordinator joins all lanes before
 	// reading it.
 	failMu        sync.Mutex
-	failovers     int
-	failoverSpans []metrics.Span
-	retiredEng    []*Engine
-	retiredReps   []*replicator
+	failovers     int            // guarded by failMu
+	failoverSpans []metrics.Span // guarded by failMu
+	retiredEng    []*Engine      // guarded by failMu
+	retiredReps   []*replicator  // guarded by failMu
 
 	mu        sync.Mutex
-	lastTrav  metrics.Span
-	lastTails []int64
+	lastTrav  metrics.Span // guarded by mu
+	lastTails []int64      // guarded by mu
 }
 
 // ErrShardMismatch reports a sharded device set whose pool stamps do not
@@ -207,6 +207,7 @@ func (se *ShardedEngine) attachReplication(repl Replication) error {
 		return nil
 	}
 	se.replicaReads = repl.ReplicaReads
+	//ntalint:ignore guardcheck construction phase: attachReplication runs inside BuildSharded/ReopenSharded before the engine is shared.
 	se.reps = make([]*replicator, len(se.shards))
 	se.replicas = make([]*Engine, len(se.shards))
 	se.replicaSess = make([]*Session, len(se.shards))
@@ -228,6 +229,7 @@ func (se *ShardedEngine) attachReplication(repl Replication) error {
 			return err
 		}
 		sh.Device().SetShipper(r)
+		//ntalint:ignore guardcheck construction phase: attachReplication runs inside BuildSharded/ReopenSharded before the engine is shared.
 		se.reps[i] = r
 	}
 	return nil
@@ -406,7 +408,9 @@ func (se *ShardedEngine) ensureReplica(i int) *Session {
 	if se.replicaSess[i] != nil {
 		return se.replicaSess[i]
 	}
+	se.failMu.Lock()
 	rep := se.reps[i]
+	se.failMu.Unlock()
 	if rep == nil {
 		return nil
 	}
@@ -895,6 +899,8 @@ func (se *ShardedEngine) Close() error {
 			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
 		}
 	}
+	se.failMu.Lock()
+	defer se.failMu.Unlock()
 	for _, r := range se.reps {
 		if r != nil {
 			if err := r.close(); err != nil {

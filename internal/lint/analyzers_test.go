@@ -1,0 +1,58 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/text-analytics/ntadoc/internal/lint"
+	"github.com/text-analytics/ntadoc/internal/lint/linttest"
+)
+
+func TestPersistCheck(t *testing.T) { linttest.Run(t, "persist", lint.PersistCheck) }
+func TestDetermCheck(t *testing.T)  { linttest.Run(t, "determ", lint.DetermCheck) }
+func TestPublishCheck(t *testing.T) { linttest.Run(t, "publish", lint.PublishCheck) }
+func TestGuardCheck(t *testing.T)   { linttest.Run(t, "guard", lint.GuardCheck) }
+
+// TestSuppressionNeedsJustification: a bare ntalint:ignore directive is
+// rejected with its own diagnostic and suppresses nothing.
+func TestSuppressionNeedsJustification(t *testing.T) {
+	pkgs, err := lint.Load(".", "./testdata/src/suppress/metrics")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := lint.Run(pkgs, []*lint.Analyzer{lint.DetermCheck})
+	if err != nil {
+		t.Fatalf("running determcheck: %v", err)
+	}
+	var gotDirective, gotFinding bool
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "ntalint" && strings.Contains(d.Message, "needs a justification"):
+			gotDirective = true
+		case d.Analyzer == "determcheck" && strings.Contains(d.Message, "time.Now"):
+			gotFinding = true
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if !gotDirective {
+		t.Errorf("missing the needs-a-justification diagnostic; got %v", diags)
+	}
+	if !gotFinding {
+		t.Errorf("bare directive must not suppress the underlying finding; got %v", diags)
+	}
+}
+
+// TestByName exercises analyzer selection, the -c flag's engine.
+func TestByName(t *testing.T) {
+	as, err := lint.ByName("persistcheck, guardcheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0].Name != "persistcheck" || as[1].Name != "guardcheck" {
+		t.Fatalf("ByName selected %v", as)
+	}
+	if _, err := lint.ByName("nosuch"); err == nil {
+		t.Fatal("ByName accepted an unknown analyzer")
+	}
+}

@@ -1,0 +1,342 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetermCheck enforces the bit-identical modeled-results contract (PR 1) in
+// the packages that produce them: pool layout (pmem), fold/merge paths
+// (analytics, metrics), and grammar construction (sequitur, cfg).  Three
+// sources of run-to-run nondeterminism are banned there:
+//
+//   - time.Now / time.Since: wall-clock must never feed a modeled figure;
+//   - the global math/rand source (rand.Intn and friends): unseeded, and
+//     shared mutable state besides — randomness must come from an explicit
+//     rand.New(rand.NewSource(seed));
+//   - range over a map whose iteration order escapes: Go randomizes map
+//     order per run, so an order-sensitive loop makes layouts and merge
+//     results differ between identical runs.
+//
+// A map range is accepted when the analyzer can see its order cannot escape:
+// either every element lands in a slice that is later passed to a sorting
+// call (sort.*, slices.Sort*, or any function whose name contains "Sort" —
+// the canonical-ordering helpers), or the loop body is order-insensitive
+// (commutative accumulation: x += v, keyed map writes out[k] = f(v) indexed
+// by the iteration key, Meter.Charge).  Anything else is flagged; an
+// intentionally order-exposing iterator documents itself with
+// //ntalint:ignore determcheck <reason>.
+var DetermCheck = &Analyzer{
+	Name:      "determcheck",
+	Doc:       "forbids wall-clock, unseeded randomness, and order-sensitive map iteration in modeled-result packages",
+	SkipTests: true,
+	Run:       runDetermCheck,
+}
+
+// determPackages are the modeled-result package tails in scope.
+var determPackages = map[string]bool{
+	"pmem": true, "analytics": true, "metrics": true, "sequitur": true, "cfg": true,
+}
+
+// commutativeCalls are methods whose effect is order-insensitive by
+// construction (atomic add into a meter), allowed inside map-range bodies.
+var commutativeCalls = map[string]bool{"Charge": true}
+
+func runDetermCheck(pass *Pass) error {
+	if !determPackages[pkgTail(pass.PkgPath)] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkBannedCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n, enclosingFunc(f, n.Pos()))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingFunc finds the top-level function declaration containing pos.
+func enclosingFunc(f *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil &&
+			fd.Body.Pos() <= pos && pos < fd.Body.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// checkBannedCall flags time.Now/Since and global math/rand functions.
+func checkBannedCall(pass *Pass, call *ast.CallExpr) {
+	fn := funcOf(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			pass.Reportf(call.Pos(), "time.%s in a modeled-result package: wall-clock must not influence modeled figures", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			// Explicitly seeded constructions are the sanctioned path.
+		default:
+			pass.Reportf(call.Pos(), "rand.%s uses the global math/rand source: use rand.New(rand.NewSource(seed)) so runs reproduce", fn.Name())
+		}
+	}
+}
+
+// checkMapRange analyzes one range statement over a map.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, encl *ast.FuncDecl) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+
+	keyVars := rangeVars(pass, rng)
+	sinks := map[types.Object]bool{} // slices appended to in the body
+
+	if orderInsensitiveBody(pass, rng.Body, keyVars, sinks) {
+		if len(sinks) == 0 {
+			return // pure commutative accumulation
+		}
+		// Elements escape into slices: the order is laundered only if every
+		// sink feeds a sorting call later in the same function.
+		if encl != nil && allSinksSorted(pass, encl, rng, sinks) {
+			return
+		}
+		pass.Reportf(rng.Pos(), "map iteration order escapes into a slice that is never canonically sorted: results will differ between runs")
+		return
+	}
+	pass.Reportf(rng.Pos(), "order-sensitive iteration over a map: Go randomizes map order per run (sort the keys first, or //ntalint:ignore determcheck <reason>)")
+}
+
+// rangeVars collects the loop's key variable object.  Only the key guarantees
+// distinctness across iterations (values can repeat), so only the key supports
+// the disjoint-slot argument.
+func rangeVars(pass *Pass, rng *ast.RangeStmt) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	if id, ok := rng.Key.(*ast.Ident); ok && id.Name != "_" {
+		if obj := pass.Info.Defs[id]; obj != nil {
+			vars[obj] = true
+		} else if obj := pass.Info.Uses[id]; obj != nil {
+			vars[obj] = true
+		}
+	}
+	return vars
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return true // unresolved bare append: only the builtin parses here
+	}
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin
+}
+
+// allArgsKeyedSlots reports whether every argument of call is a map or slice
+// slot indexed by the loop key (e.g. out[k]) — per-key state.
+func allArgsKeyedSlots(pass *Pass, call *ast.CallExpr, keyVars map[types.Object]bool) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	for _, arg := range call.Args {
+		idx, ok := ast.Unparen(arg).(*ast.IndexExpr)
+		if !ok || !mentionsVar(pass, idx.Index, keyVars) {
+			return false
+		}
+	}
+	return true
+}
+
+// orderInsensitiveBody reports whether every statement in the loop body is
+// one whose final effect does not depend on iteration order, collecting
+// append sinks along the way.  Conservative: anything unrecognized is
+// order-sensitive.
+func orderInsensitiveBody(pass *Pass, body *ast.BlockStmt, keyVars map[types.Object]bool, sinks map[types.Object]bool) bool {
+	for _, stmt := range body.List {
+		if !orderInsensitiveStmt(pass, stmt, keyVars, sinks) {
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveStmt(pass *Pass, stmt ast.Stmt, keyVars map[types.Object]bool, sinks map[types.Object]bool) bool {
+	switch s := stmt.(type) {
+	case *ast.IncDecStmt:
+		return true // x++ / x-- commute
+	case *ast.AssignStmt:
+		return orderInsensitiveAssign(pass, s, keyVars, sinks)
+	case *ast.ExprStmt:
+		// A bare call is allowed for the known-commutative set, and for a
+		// per-slot sort (slices.Sort(out[k])): distinct keys sort disjoint
+		// slots, so iteration order cannot show.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if fn := methodOf(pass.Info, call); fn != nil && commutativeCalls[fn.Name()] {
+				return true
+			}
+			if isSortingCall(pass, call) && allArgsKeyedSlots(pass, call, keyVars) {
+				return true
+			}
+		}
+		return false
+	case *ast.DeclStmt:
+		return true // declaring loop-locals is order-free
+	case *ast.BlockStmt:
+		return orderInsensitiveBody(pass, s, keyVars, sinks)
+	case *ast.RangeStmt:
+		// A nested loop over a slice or array replays in a fixed order, so
+		// the outer map's order still cannot show as long as the inner body
+		// is itself order-insensitive with respect to the outer key.
+		if tv, ok := pass.Info.Types[s.X]; ok {
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Array:
+				return orderInsensitiveBody(pass, s.Body, keyVars, sinks)
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// orderInsensitiveAssign accepts commutative compound assignments, keyed map
+// writes indexed by the iteration key, and appends (recorded as sinks for
+// the sorted-later check).
+func orderInsensitiveAssign(pass *Pass, as *ast.AssignStmt, keyVars map[types.Object]bool, sinks map[types.Object]bool) bool {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN,
+		token.XOR_ASSIGN, token.MUL_ASSIGN:
+		return true // commutative (or at least order-free for disjoint keys) accumulation
+	case token.ASSIGN, token.DEFINE:
+	default:
+		return false // |=^... shifts, quotients: order-dependent
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return false
+	}
+	for i, lhs := range as.Lhs {
+		rhs := as.Rhs[i]
+		// append into a sink slice: x = append(x, ...).
+		if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+			if tgt, ok := lhs.(*ast.Ident); ok {
+				// Record the sink; the sorted-later check decides its fate.
+				if obj := pass.Info.Uses[tgt]; obj != nil {
+					sinks[obj] = true
+					continue
+				}
+				if obj := pass.Info.Defs[tgt]; obj != nil {
+					sinks[obj] = true
+					continue
+				}
+			}
+			// Keyed map-slot append m[k] = append(m[k], ...): distinct keys
+			// extend disjoint slots, so each slot's contents are fixed by the
+			// (deterministic) inner order, not by map iteration order.
+			if idx, ok := lhs.(*ast.IndexExpr); ok {
+				if tv, ok := pass.Info.Types[idx.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap && mentionsVar(pass, idx.Index, keyVars) {
+						continue
+					}
+				}
+			}
+			// append into anything else (a field, an unkeyed slot): the
+			// sorted-later check can't follow it — treat as order-sensitive.
+			return false
+		}
+		// Keyed map write out[k] = v: distinct source keys touch distinct
+		// slots, so order cannot matter as long as the index mentions the
+		// iteration key.
+		if idx, ok := lhs.(*ast.IndexExpr); ok {
+			if tv, ok := pass.Info.Types[idx.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap && mentionsVar(pass, idx.Index, keyVars) {
+					continue
+				}
+			}
+			return false
+		}
+		return false
+	}
+	return true
+}
+
+// mentionsVar reports whether expr references one of the given objects.
+func mentionsVar(pass *Pass, expr ast.Expr, vars map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil && vars[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// allSinksSorted reports whether every sink slice is passed to a sorting
+// call somewhere after the range statement in the enclosing function.
+func allSinksSorted(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, sinks map[types.Object]bool) bool {
+	sorted := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if !isSortingCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil && sinks[obj] {
+						sorted[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	for obj := range sinks {
+		if !sorted[obj] {
+			return false
+		}
+	}
+	return true
+}
+
+// isSortingCall recognizes canonical-ordering calls: anything out of sort/
+// slices, or any function or method whose name contains "Sort" (the
+// codebase's canonical-ordering helpers: SortAlphabetical, TermVectorSorted,
+// RankPostingsSorted, ...).
+func isSortingCall(pass *Pass, call *ast.CallExpr) bool {
+	if fn := funcOf(pass.Info, call); fn != nil {
+		if fn.Pkg() != nil && (fn.Pkg().Path() == "sort" || fn.Pkg().Path() == "slices") {
+			return true
+		}
+		return strings.Contains(fn.Name(), "Sort")
+	}
+	if fn := methodOf(pass.Info, call); fn != nil {
+		return strings.Contains(fn.Name(), "Sort")
+	}
+	return false
+}

@@ -1,0 +1,149 @@
+// Package linttest runs lint analyzers over want-annotated fixture packages,
+// mirroring golang.org/x/tools/go/analysis/analysistest in miniature: each
+// fixture line that should be flagged carries a `// want "regexp"` comment,
+// and the test fails on any unmatched expectation or unexpected diagnostic.
+//
+// Fixtures live under internal/lint/testdata/src/<root>/, one directory per
+// fixture package.  The go tool never matches testdata directories with
+// `...` patterns, so the intentionally buggy fixtures are invisible to the
+// ordinary build, vet, and ntalint runs over the module; this runner walks
+// the tree itself and loads each fixture directory explicitly.
+package linttest
+
+import (
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/text-analytics/ntadoc/internal/lint"
+)
+
+// want is one expectation: a diagnostic whose message matches re must be
+// reported at file:line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads every fixture package under testdata/src/<root> (relative to the
+// calling test's directory) and checks the analyzer's diagnostics against the
+// fixtures' want comments, both ways: every diagnostic needs a matching want
+// on its line, and every want must be hit.
+func Run(t *testing.T, root string, a *lint.Analyzer) {
+	t.Helper()
+
+	base := filepath.Join("testdata", "src", root)
+	var dirs []string
+	err := filepath.WalkDir(base, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		gofiles, _ := filepath.Glob(filepath.Join(p, "*.go"))
+		if len(gofiles) > 0 {
+			dirs = append(dirs, "./"+filepath.ToSlash(p))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking %s: %v", base, err)
+	}
+	if len(dirs) == 0 {
+		t.Fatalf("no fixture packages under %s", base)
+	}
+
+	pkgs, err := lint.Load(".", dirs...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+
+	diags, err := lint.Run(pkgs, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pkgs)
+	for _, d := range diags {
+		if !claimWant(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("unexpected diagnostic at %s: %s: %s", shortPos(d.Pos.Filename, d.Pos.Line), d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("no diagnostic at %s matching %q", shortPos(w.file, w.line), w.raw)
+		}
+	}
+}
+
+// claimWant consumes the first unhit want at file:line whose pattern matches
+// the message.
+func claimWant(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if w.hit || w.file != file || w.line != line {
+			continue
+		}
+		if w.re.MatchString(msg) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantRE finds the expectation list in a comment; quotedRE splits it into
+// individual Go-quoted regexps.
+var (
+	wantRE   = regexp.MustCompile(`//\s*want\s+(.+)$`)
+	quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+// collectWants parses want comments out of every loaded fixture file.  A want
+// comment applies to its own line; several quoted patterns on one line expect
+// several diagnostics there.
+func collectWants(t *testing.T, pkgs []*lint.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, q := range quotedRE.FindAllString(m[1], -1) {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", shortPos(pos.Filename, pos.Line), q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", shortPos(pos.Filename, pos.Line), pat, err)
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// shortPos trims a fixture position down to testdata-relative form for
+// readable failures.
+func shortPos(file string, line int) string {
+	if i := strings.Index(file, "testdata"+string(filepath.Separator)); i >= 0 {
+		file = file[i:]
+	}
+	return fmt.Sprintf("%s:%d", file, line)
+}

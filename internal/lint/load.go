@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the unit the analyzers run
+// over.  Files holds the package's compiled sources plus its in-package test
+// files (external foo_test packages are not loaded — they see only the public
+// API and carry no persistence or coordinator state of their own).
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+
+	// TestFile marks which loaded files are _test.go files, so analyzers
+	// with SkipTests can confine themselves to compiled code.
+	TestFile map[*ast.File]bool
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath  string
+	Dir         string
+	Standard    bool
+	DepOnly     bool
+	ForTest     string
+	Export      string
+	GoFiles     []string
+	CgoFiles    []string
+	TestGoFiles []string
+	Module      *struct{ Path string }
+	Error       *struct{ Err string }
+}
+
+// Load type-checks the packages matching patterns under dir and returns them
+// ready for analysis.  It has no dependency beyond the Go toolchain: package
+// metadata and compiled export data come from `go list -export`, and each
+// target package's syntax is parsed and type-checked from source against that
+// export data.  Dependencies therefore never need re-type-checking, and the
+// whole load is one toolchain invocation plus one pass over the target
+// sources.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-json", "-deps", "-test", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		// Test-variant entries ("p [p.test]", "p.test") exist so that the
+		// dependency closure of test files is listed and compiled; the plain
+		// variant of each dependency is the one whose export data we import.
+		if p.ForTest != "" || strings.HasSuffix(p.ImportPath, ".test") ||
+			strings.Contains(p.ImportPath, " [") {
+			continue
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		targets = append(targets, &p)
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := checkPackage(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// checkPackage parses and type-checks one target from source.
+func checkPackage(fset *token.FileSet, imp types.Importer, t *listPkg) (*Package, error) {
+	pkg := &Package{
+		PkgPath:  t.ImportPath,
+		Dir:      t.Dir,
+		Fset:     fset,
+		TestFile: make(map[*ast.File]bool),
+	}
+	parse := func(names []string, test bool) error {
+		for _, name := range names {
+			path := filepath.Join(t.Dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return fmt.Errorf("lint: %v", err)
+			}
+			pkg.Files = append(pkg.Files, f)
+			if test {
+				pkg.TestFile[f] = true
+			}
+		}
+		return nil
+	}
+	if err := parse(t.GoFiles, false); err != nil {
+		return nil, err
+	}
+	if err := parse(t.CgoFiles, false); err != nil {
+		return nil, err
+	}
+	if err := parse(t.TestGoFiles, true); err != nil {
+		return nil, err
+	}
+	if len(pkg.Files) == 0 {
+		return pkg, nil
+	}
+
+	pkg.Info = newInfo()
+	conf := types.Config{Importer: imp}
+	tp, err := conf.Check(t.ImportPath, fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", t.ImportPath, err)
+	}
+	pkg.Types = tp
+	return pkg, nil
+}
+
+// newInfo allocates a types.Info with every map analyzers consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

@@ -1,0 +1,117 @@
+// Package analytics is a fixture stand-in for a modeled-result package: its
+// path tail puts it in determcheck's scope.
+package analytics
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+	"time"
+)
+
+// Meter mimics the metrics meter: Charge is on the commutative allowlist.
+type Meter struct{ n int64 }
+
+func (m *Meter) Charge(n int64, kind int) { m.n += n }
+
+func wallClock() int64 {
+	t := time.Now() // want "time.Now in a modeled-result package"
+	return t.Unix()
+}
+
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want "time.Since in a modeled-result package"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "rand.Intn uses the global math/rand source"
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // explicitly seeded: sanctioned
+	return r.Intn(10)
+}
+
+func orderEscapes(m map[uint32]uint64) []uint32 {
+	var out []uint32
+	for k := range m { // want "never canonically sorted"
+		out = append(out, k)
+	}
+	return out
+}
+
+func orderLaundered(m map[uint32]uint64) []uint32 {
+	var out []uint32
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// SortCanonical mimics the real tree's canonical-ordering helpers
+// (SortAlphabetical, TermVectorSorted, ...), recognized by name.
+func SortCanonical(out []uint32) { sort.Slice(out, func(i, j int) bool { return out[i] < out[j] }) }
+
+func orderLaunderedByHelper(m map[uint32]uint64) []uint32 {
+	var out []uint32
+	for k := range m {
+		out = append(out, k)
+	}
+	SortCanonical(out)
+	return out
+}
+
+func commutativeFold(m map[uint32]uint64, meter *Meter) uint64 {
+	var total uint64
+	for _, v := range m {
+		total += v
+		meter.Charge(int64(v), 1)
+	}
+	return total
+}
+
+func keyedRewrite(m map[uint32]uint64) map[uint32]uint64 {
+	out := make(map[uint32]uint64, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+func keyedSlotAppend(m map[uint32][]uint32, base uint32) map[uint32][]uint32 {
+	out := make(map[uint32][]uint32)
+	for k, docs := range m {
+		for _, d := range docs {
+			out[k] = append(out[k], d+base)
+		}
+	}
+	return out
+}
+
+func perSlotSort(m map[uint32][]uint32) {
+	for k := range m {
+		slices.Sort(m[k])
+	}
+}
+
+func orderSensitive(m map[uint32]uint64, emit func(uint32)) {
+	for k := range m { // want "order-sensitive iteration over a map"
+		emit(k)
+	}
+}
+
+func lastWriterWins(m map[uint32]uint64) uint64 {
+	var last uint64
+	for _, v := range m { // want "order-sensitive iteration over a map"
+		last = v
+	}
+	return last
+}
+
+func suppressedIterator(m map[uint32]uint64, emit func(uint32)) {
+	//ntalint:ignore determcheck fixture: iteration order is contractually unspecified here.
+	for k := range m {
+		emit(k)
+	}
+}

@@ -1,0 +1,13 @@
+// Package other proves determcheck's package scoping: wall-clock and map
+// iteration outside the modeled-result packages are not its business.
+package other
+
+import "time"
+
+func wallClock() int64 { return time.Now().Unix() }
+
+func iterate(m map[int]int, emit func(int)) {
+	for k := range m {
+		emit(k)
+	}
+}

@@ -1,0 +1,11 @@
+// Package other proves persistcheck's package scoping: a same-named method
+// outside the persistence packages (tail "other") is never flagged.
+package other
+
+type Buffer struct{}
+
+func (b *Buffer) Drain() error { return nil }
+
+func use(b *Buffer) {
+	b.Drain() // out-of-scope package: no finding
+}

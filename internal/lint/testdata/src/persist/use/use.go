@@ -1,0 +1,63 @@
+// Package use exercises persistcheck: every way the retired line-regex
+// errcheck could be slipped past must be flagged here, and every legitimate
+// consumption of the error must not be.
+package use
+
+import "github.com/text-analytics/ntadoc/internal/lint/testdata/src/persist/nvm"
+
+func bare(dev *nvm.Device) {
+	dev.Drain() // want "error from .*Drain.* dropped"
+}
+
+func multiline(dev *nvm.Device) {
+	dev.Flush( // want "error from .*Flush.* dropped"
+		0,
+		4096,
+	)
+}
+
+func blank(dev *nvm.Device) {
+	_ = dev.Drain() // want "error from .*Drain.* assigned to _"
+}
+
+func parallelBlank(dev *nvm.Device) {
+	_, _ = dev.Drain(), dev.Crash() // want "error from .*Drain.* assigned to _" "error from .*Crash.* assigned to _"
+}
+
+func inGoroutine(dev *nvm.Device) {
+	go dev.CrashAt(7) // want "error from .*CrashAt.* dropped by go statement"
+}
+
+func deferred(dev *nvm.Device) {
+	defer dev.Drain() // want "error from .*Drain.* dropped by defer"
+}
+
+func throughInterface(s nvm.Syncer) {
+	s.Drain() // want "error from .*Drain.* dropped"
+}
+
+type alias = nvm.Device
+
+func throughAlias(dev *alias) {
+	dev.Drain() // want "error from .*Drain.* dropped"
+}
+
+func handled(dev *nvm.Device) error {
+	if err := dev.Drain(); err != nil {
+		return err
+	}
+	return dev.Flush(0, 64)
+}
+
+func consumedAsArgument(dev *nvm.Device, sink func(error)) {
+	sink(dev.Drain()) // passed along, not dropped
+}
+
+func nonErrorMethod(dev *nvm.Device) {
+	dev.Stats() // returns no error: out of scope
+}
+
+func deliberateDrop(dev *nvm.Device) {
+	//ntalint:ignore persistcheck fixture: demonstrating a justified deliberate drop.
+	dev.Drain()
+}

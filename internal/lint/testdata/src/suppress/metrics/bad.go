@@ -1,0 +1,11 @@
+// Package metrics carries a justification-less ntalint:ignore directive: the
+// suppression must be rejected (its own diagnostic) and must not suppress
+// the underlying finding.
+package metrics
+
+import "time"
+
+func wallClock() int64 {
+	//ntalint:ignore determcheck
+	return time.Now().Unix()
+}

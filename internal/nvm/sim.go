@@ -36,10 +36,10 @@ type SimDevice struct {
 	// a bound on how much of it needs re-zeroing before reuse.
 	dirtyHi int64
 
-	mu      sync.Mutex // guards durable store and closed flag
-	store   durableStore
-	closed  bool
-	lastBlk int64 // previously accessed block, for HDD seek modeling
+	mu      sync.Mutex   // guards durable store and closed flag
+	store   durableStore // guarded by mu
+	closed  bool         // guarded by mu
+	lastBlk int64        // previously accessed block, for HDD seek modeling
 
 	// shared switches the device into shared mode (see Share): every access
 	// charge and counter update is serialized behind opMu so concurrent
@@ -641,6 +641,7 @@ func (d *SimDevice) Flush(off, n int64) error {
 			return ErrFailPoint
 		}
 	}
+	//ntalint:ignore guardcheck store's nil-ness (volatile vs persistent kind) is fixed at construction; mu guards the durable image behind it.
 	if d.store == nil {
 		return nil // volatile medium: nothing to persist
 	}
@@ -686,6 +687,7 @@ func (d *SimDevice) Drain() error {
 			return ErrFailPoint
 		}
 	}
+	//ntalint:ignore guardcheck store's nil-ness (volatile vs persistent kind) is fixed at construction; mu guards the durable image behind it.
 	if d.store == nil {
 		return nil
 	}
@@ -756,7 +758,7 @@ func (d *SimDevice) crashLocked(rng *rand.Rand) error {
 		return ErrClosed
 	}
 	if rng != nil && d.store != nil && len(d.pending) > 0 {
-		if err := d.persistPendingSubset(rng); err != nil {
+		if err := d.persistPendingSubsetLocked(rng); err != nil {
 			return err
 		}
 	}
@@ -779,12 +781,13 @@ func (d *SimDevice) crashLocked(rng *rand.Rand) error {
 	return nil
 }
 
-// persistPendingSubset writes a seeded subset of the pending set's granules
-// to the durable store.  Granule survival is decided once per distinct
-// granule; the surviving intersections are then applied in flush order, so
+// persistPendingSubsetLocked writes a seeded subset of the pending set's
+// granules to the durable store; the caller holds d.mu.  Granule survival is
+// decided once per distinct granule; the surviving intersections are then
+// applied in flush order, so
 // within one granule the latest flush wins — exactly the write-back
 // semantics of a media granule that made it out of the XPBuffer.
-func (d *SimDevice) persistPendingSubset(rng *rand.Rand) error {
+func (d *SimDevice) persistPendingSubsetLocked(rng *rand.Rand) error {
 	g := d.model.Granule
 	seen := make(map[int64]bool)
 	var order []int64

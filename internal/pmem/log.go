@@ -173,6 +173,7 @@ func (t *Tx) Commit() error {
 	t.log.acc.PutUint32(8, crc32.ChecksumIEEE(payload))
 	t.log.acc.PutUint32(12, t.count)
 	t.log.acc.PutUint32(0, logStateCommitted)
+	//ntalint:ignore publishcheck redo-log commit: sealing the log header IS the commit point; the in-place flushes after it are replayable from the sealed log.
 	if err := t.log.acc.Flush(0, logHeaderSize); err != nil {
 		return err
 	}

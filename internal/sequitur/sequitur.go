@@ -279,6 +279,7 @@ func (b *builder) finish(numFiles, numWords uint32) *cfg.Grammar {
 			*out = append(*out, n.sym)
 		}
 	}
+	//ntalint:ignore determcheck each iteration fills only g.Rules[finalIdx[r]] — a distinct slot per rule, from that rule's own symbols — so iteration order cannot show in the result.
 	for r, idx := range finalIdx {
 		var body []cfg.Symbol
 		emit(r, &body)
