@@ -3,7 +3,7 @@ GO ?= go
 # Seconds of coverage-guided fuzzing per target in fuzz-smoke.
 FUZZTIME ?= 20s
 
-.PHONY: all build vet staticcheck lint test race bench-smoke errcheck crashcheck failovercheck fuzz-smoke check
+.PHONY: all build vet staticcheck lint test race bench-smoke errcheck crashcheck failovercheck fuzz-smoke e2e loadgen-smoke check
 
 all: check
 
@@ -85,4 +85,21 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzCompressRoundTrip$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzOpLogRecovery$$' -fuzztime $(FUZZTIME) ./internal/core
 
-check: build vet staticcheck lint test race bench-smoke crashcheck failovercheck fuzz-smoke
+# End-to-end daemon gate: builds the real ntadocd binary, serves the
+# testdata corpus over HTTP, asserts every op bit-identical to direct
+# library execution, and SIGTERMs it with a request in flight to check the
+# graceful drain.  (These tests also run inside `make test`; the named
+# target reruns them uncached so the gate always exercises the binary.)
+e2e:
+	$(GO) test -count=1 -run 'TestDaemon' ./cmd/ntadocd
+
+# Short serving-layer load run (small N, short duration): stands the server
+# up over a scaled-down corpus and drives it over loopback HTTP, exercising
+# the session pool, coalescer, and result cache end to end.  The committed
+# baseline in BENCH_loadgen.json is recorded with the full defaults
+# (`go run ./cmd/benchfig -fig loadgen`).
+loadgen-smoke:
+	$(GO) run ./cmd/benchfig -fig loadgen -scale 0.05 -loadworkers 8 \
+		-loadrequests 64 -loadout ""
+
+check: build vet staticcheck lint test race bench-smoke crashcheck failovercheck fuzz-smoke e2e loadgen-smoke

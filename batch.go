@@ -2,6 +2,7 @@ package ntadoc
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"github.com/text-analytics/ntadoc/internal/analytics"
@@ -62,15 +63,19 @@ func (t Task) NeedsSequences() bool {
 	return t == TaskSequenceCount || t == TaskRankedInvertedIndex
 }
 
-// op returns the task's registered analytics op with default parameters.
-func (t Task) op() (analytics.Op, error) {
+// op returns the task's registered analytics op; k parameterizes the
+// term-vector length (0 selects the default).
+func (t Task) op(k int) (analytics.Op, error) {
 	switch t {
 	case TaskWordCount:
 		return analytics.WordCountOp{}, nil
 	case TaskSort:
 		return analytics.SortOp{}, nil
 	case TaskTermVectors:
-		return analytics.TermVectorsOp{K: analytics.DefaultTermVectorK}, nil
+		if k <= 0 {
+			k = analytics.DefaultTermVectorK
+		}
+		return analytics.TermVectorsOp{K: k}, nil
 	case TaskInvertedIndex:
 		return analytics.InvertedIndexOp{}, nil
 	case TaskSequenceCount:
@@ -82,9 +87,100 @@ func (t Task) op() (analytics.Op, error) {
 	}
 }
 
+// BatchSpec is a canonicalized batch request: the deduplicated tasks in the
+// paper's order plus the batch's only parameter, the term-vector length.
+// Canonical form is what makes request shaping shareable — the CLI's
+// one-shot path, the daemon's coalescer (which keys in-flight singleflights
+// by Signature), and its result cache all reduce a request to the same
+// BatchSpec, so "sort,wordcount" and "wordcount,sort" are one batch
+// everywhere.  The zero value is an empty batch.
+type BatchSpec struct {
+	tasks []Task
+	k     int
+}
+
+// NewBatchSpec canonicalizes a batch request: tasks are deduplicated and
+// ordered canonically (the paper's task order), and termVectorK is dropped
+// unless the batch computes term vectors with a non-default length.
+// Unknown Task values are preserved and surface as errors at execution.
+func NewBatchSpec(tasks []Task, termVectorK int) BatchSpec {
+	uniq := make([]Task, 0, len(tasks))
+	seen := make(map[Task]bool, len(tasks))
+	for _, t := range tasks {
+		if !seen[t] {
+			seen[t] = true
+			uniq = append(uniq, t)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+	if termVectorK <= 0 || termVectorK == analytics.DefaultTermVectorK || !seen[TaskTermVectors] {
+		termVectorK = 0
+	}
+	return BatchSpec{tasks: uniq, k: termVectorK}
+}
+
+// ParseBatchSpec canonicalizes a batch request given by task names.
+func ParseBatchSpec(names []string, termVectorK int) (BatchSpec, error) {
+	tasks := make([]Task, 0, len(names))
+	for _, name := range names {
+		t, err := ParseTask(strings.TrimSpace(name))
+		if err != nil {
+			return BatchSpec{}, err
+		}
+		tasks = append(tasks, t)
+	}
+	return NewBatchSpec(tasks, termVectorK), nil
+}
+
+// Tasks returns the canonical task list.
+func (b BatchSpec) Tasks() []Task { return append([]Task(nil), b.tasks...) }
+
+// TermVectorK returns the term-vector length (0 means the default).
+func (b BatchSpec) TermVectorK() int { return b.k }
+
+// NeedsSequences reports whether any task in the batch requires sequence
+// preprocessing.
+func (b BatchSpec) NeedsSequences() bool {
+	for _, t := range b.tasks {
+		if t.NeedsSequences() {
+			return true
+		}
+	}
+	return false
+}
+
+// Signature returns the batch's canonical string form, e.g.
+// "wordcount+termvector@k=5".  Equal signatures mean identical batches:
+// the daemon's coalescer and result cache key on it.
+func (b BatchSpec) Signature() string {
+	names := make([]string, len(b.tasks))
+	for i, t := range b.tasks {
+		names[i] = t.String()
+	}
+	sig := strings.Join(names, "+")
+	if b.k > 0 {
+		sig += fmt.Sprintf("@k=%d", b.k)
+	}
+	return sig
+}
+
+// ops materializes the batch's analytics ops.
+func (b BatchSpec) ops() ([]analytics.Op, error) {
+	ops := make([]analytics.Op, len(b.tasks))
+	for i, t := range b.tasks {
+		op, err := t.op(b.k)
+		if err != nil {
+			return nil, err
+		}
+		ops[i] = op
+	}
+	return ops, nil
+}
+
 // BatchResult holds the results of one fused batch.  Only the fields of the
-// tasks that were requested are populated.  TermVectors uses the default
-// vector length (analytics.DefaultTermVectorK entries per document).
+// tasks that were requested are populated.  TermVectors holds the spec's
+// term-vector length (default analytics.DefaultTermVectorK entries per
+// document).
 type BatchResult struct {
 	WordCount           map[string]uint64
 	Sort                []TermCount
@@ -99,35 +195,36 @@ type BatchResult struct {
 // the same reads, so a batch costs substantially fewer modeled device reads
 // than running the tasks sequentially.  Duplicate tasks are computed once.
 func (e *Engine) RunBatch(tasks ...Task) (*BatchResult, error) {
-	out := &BatchResult{}
-	if len(tasks) == 0 {
-		return out, nil
+	return e.RunSpec(NewBatchSpec(tasks, 0))
+}
+
+// RunSpec executes a canonicalized batch on the engine's task path — the
+// request-shaping codepath shared with the daemon (which runs the same specs
+// through pooled query sessions).
+func (e *Engine) RunSpec(spec BatchSpec) (*BatchResult, error) {
+	if len(spec.tasks) == 0 {
+		return &BatchResult{}, nil
 	}
 	x, ok := e.inner.(analytics.Executor)
 	if !ok {
 		return nil, fmt.Errorf("ntadoc: engine does not support batch execution")
 	}
-	uniq := make([]Task, 0, len(tasks))
-	seen := make(map[Task]bool)
-	for _, t := range tasks {
-		if !seen[t] {
-			seen[t] = true
-			uniq = append(uniq, t)
-		}
-	}
-	ops := make([]analytics.Op, len(uniq))
-	for i, t := range uniq {
-		op, err := t.op()
-		if err != nil {
-			return nil, err
-		}
-		ops[i] = op
+	ops, err := spec.ops()
+	if err != nil {
+		return nil, err
 	}
 	results, err := x.RunOps(ops)
 	if err != nil {
 		return nil, err
 	}
-	for i, t := range uniq {
+	return e.convertBatch(spec, results), nil
+}
+
+// convertBatch maps the kernel's ID-keyed op results onto the public
+// string-keyed BatchResult, slot by slot in the spec's canonical order.
+func (e *Engine) convertBatch(spec BatchSpec, results []any) *BatchResult {
+	out := &BatchResult{}
+	for i, t := range spec.tasks {
 		switch t {
 		case TaskWordCount:
 			out.WordCount = e.convWordCounts(results[i].(map[uint32]uint64))
@@ -143,7 +240,7 @@ func (e *Engine) RunBatch(tasks ...Task) (*BatchResult, error) {
 			out.RankedInvertedIndex = e.convRankedIndex(results[i].(map[analytics.Seq][]analytics.DocFreq))
 		}
 	}
-	return out, nil
+	return out
 }
 
 // Conversions from internal ID-keyed results to the public string-keyed

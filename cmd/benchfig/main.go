@@ -15,7 +15,8 @@
 //	benchfig -fig fused     fused multi-op batch vs sequential single-op runs
 //	benchfig -fig shards    sharded engine: parallel build + scatter-gather batch vs K=1
 //	benchfig -fig failover  replicated shards: failover overhead + replica-read tails
-//	benchfig -fig all       everything above
+//	benchfig -fig loadgen   serving layer: daemon throughput + latency percentiles
+//	benchfig -fig all       everything above except loadgen (wall-clock, not modeled)
 //
 // -scale shrinks the corpora for quick runs (default 1.0 = the scaled-down
 // analogues described in DESIGN.md).  Reported times are modeled times from
@@ -88,6 +89,9 @@ func main() {
 		"fused":     figFused,
 		"shards":    figShards,
 		"failover":  figFailover,
+		// loadgen is deliberately not in the -fig all order: it measures
+		// wall-clock serving latency, not modeled device time.
+		"loadgen": figLoadgen,
 	}
 	order := []string{"datasets", "prune", "5a", "5b", "6", "7", "dram", "table2", "phases", "traversal", "cross", "endurance", "fused", "shards", "failover"}
 

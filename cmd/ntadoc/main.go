@@ -7,8 +7,14 @@
 //	ntadoc analyze -task wordcount -top 20 corpus.tdc
 //	ntadoc analyze -task seqcount -medium dram corpus.tdc
 //	ntadoc analyze -task wordcount,sort,invertedindex corpus.tdc
+//	ntadoc analyze -server http://localhost:8080 -task wordcount,sort
 //	ntadoc decompress -dir out/ corpus.tdc
 //	ntadoc inspect -dot corpus.tdc > dag.dot
+//
+// With -server, analyze queries a running ntadocd daemon instead of opening
+// an archive locally; both paths shape the request through the same
+// canonical batch spec, so a CLI query and a daemon query for the same task
+// set are one batch.
 //
 // Tasks: wordcount, sort, termvector, invertedindex, seqcount, rankedindex.
 // A comma-separated -task list runs as one fused batch over a single
@@ -18,14 +24,19 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
 	"github.com/text-analytics/ntadoc"
+	"github.com/text-analytics/ntadoc/internal/server"
 )
 
 func main() {
@@ -153,67 +164,133 @@ func cmdAnalyze(args []string) error {
 	medium := fs.String("medium", "nvm", "nvm|dram|ssd|hdd")
 	top := fs.Int("top", 20, "print at most this many result lines per task (0 = all)")
 	pool := fs.String("pool", "", "file-backed NVM pool path (persists across runs)")
+	serverURL := fs.String("server", "", "base URL of a running ntadocd daemon; queries it instead of opening an archive locally")
 	fs.Parse(args)
-	if fs.NArg() != 1 {
-		return fmt.Errorf("analyze: expected one archive path")
-	}
-	var tasks []ntadoc.Task
-	for _, name := range strings.Split(*task, ",") {
-		t, err := ntadoc.ParseTask(strings.TrimSpace(name))
-		if err != nil {
-			return err
-		}
-		tasks = append(tasks, t)
-	}
-	a, err := loadArchive(fs.Arg(0))
-	if err != nil {
-		return err
-	}
-	m, err := mediumFromFlag(*medium)
-	if err != nil {
-		return err
-	}
-	seq := false
-	for _, t := range tasks {
-		seq = seq || t.NeedsSequences()
-	}
-	eng, err := ntadoc.NewEngine(a, ntadoc.Options{
-		Medium:      m,
-		PoolPath:    *pool,
-		NoSequences: !seq,
-	})
-	if err != nil {
-		return err
-	}
-	defer eng.Close()
 
-	if len(tasks) > 1 {
-		// Multiple tasks execute as one fused batch: the engine traverses
-		// its representation once and feeds every task from the same reads.
-		res, err := eng.RunBatch(tasks...)
+	// Both execution paths shape the request the same way: the task list
+	// reduces to a canonical batch spec — the canonicalization the daemon's
+	// coalescer and result cache key on.  Results print in the order the
+	// user asked for (deduplicated); execution order is the spec's.
+	var printTasks []ntadoc.Task
+	seen := make(map[ntadoc.Task]bool)
+	var names []string
+	for _, name := range strings.Split(*task, ",") {
+		name = strings.TrimSpace(name)
+		t, err := ntadoc.ParseTask(name)
 		if err != nil {
 			return err
 		}
-		for i, t := range tasks {
+		names = append(names, name)
+		if !seen[t] {
+			seen[t] = true
+			printTasks = append(printTasks, t)
+		}
+	}
+	k := 0
+	if len(printTasks) == 1 && printTasks[0] == ntadoc.TaskTermVectors {
+		k = *top // single-task termvector: -top is the vector length
+	}
+	spec, err := ntadoc.ParseBatchSpec(names, k)
+	if err != nil {
+		return err
+	}
+
+	var res *ntadoc.BatchResult
+	var docNames []string
+	var eng *ntadoc.Engine
+	if *serverURL != "" {
+		if fs.NArg() != 0 {
+			return fmt.Errorf("analyze: -server mode takes no archive path (the daemon owns the archive)")
+		}
+		res, docNames, err = queryDaemon(*serverURL, spec)
+		if err != nil {
+			return err
+		}
+	} else {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("analyze: expected one archive path")
+		}
+		a, err := loadArchive(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		m, err := mediumFromFlag(*medium)
+		if err != nil {
+			return err
+		}
+		eng, err = ntadoc.NewEngine(a, ntadoc.Options{
+			Medium:      m,
+			PoolPath:    *pool,
+			NoSequences: !spec.NeedsSequences(),
+		})
+		if err != nil {
+			return err
+		}
+		defer eng.Close()
+		// The whole batch executes fused: the engine traverses its
+		// representation once and feeds every task from the same reads.
+		res, err = eng.RunSpec(spec)
+		if err != nil {
+			return err
+		}
+		docNames = a.DocumentNames()
+	}
+
+	for i, t := range printTasks {
+		if len(printTasks) > 1 {
 			if i > 0 {
 				fmt.Println()
 			}
 			fmt.Printf("== %s ==\n", t)
-			printTaskResult(t, res, a.DocumentNames(), *top)
 		}
-	} else {
-		if err := runSingleTask(eng, a, tasks[0], *top); err != nil {
-			return err
-		}
+		printTaskResult(t, res, docNames, *top)
 	}
 
-	init, trav := eng.PhaseTimes()
-	if init > 0 {
-		dev, dram := eng.MemoryFootprint()
-		fmt.Fprintf(os.Stderr, "phases: init %v, traversal %v; footprint: %d device bytes, %d DRAM bytes\n",
-			init, trav, dev, dram)
+	if eng != nil {
+		init, trav := eng.PhaseTimes()
+		if init > 0 {
+			dev, dram := eng.MemoryFootprint()
+			fmt.Fprintf(os.Stderr, "phases: init %v, traversal %v; footprint: %d device bytes, %d DRAM bytes\n",
+				init, trav, dev, dram)
+		}
 	}
 	return nil
+}
+
+// queryDaemon runs the spec against an ntadocd daemon and converts the wire
+// result back to the library form the shared printers render.
+func queryDaemon(base string, spec ntadoc.BatchSpec) (*ntadoc.BatchResult, []string, error) {
+	tasks := spec.Tasks()
+	names := make([]string, len(tasks))
+	for i, t := range tasks {
+		names[i] = t.String()
+	}
+	body, err := json.Marshal(server.Request{Tasks: names, TermVectorK: spec.TermVectorK()})
+	if err != nil {
+		return nil, nil, err
+	}
+	url := strings.TrimRight(base, "/") + "/v1/batch"
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, nil, fmt.Errorf("daemon: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var env server.Response
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return nil, nil, fmt.Errorf("daemon: decoding response: %v", err)
+	}
+	var wire server.Result
+	if err := json.Unmarshal(env.Result, &wire); err != nil {
+		return nil, nil, fmt.Errorf("daemon: decoding result: %v", err)
+	}
+	res, docs := wire.BatchResult()
+	fmt.Fprintf(os.Stderr, "daemon: generation %s, batch %s, cached=%v, coalesced=%v\n",
+		env.Generation, env.Signature, env.Cached, env.Coalesced)
+	return res, docs, nil
 }
 
 // limitTo caps n at top when top > 0.
@@ -222,32 +299,6 @@ func limitTo(n, top int) int {
 		return top
 	}
 	return n
-}
-
-// runSingleTask runs one task through the per-task API (which honors -top
-// for term-vector length) and prints its result.
-func runSingleTask(eng *ntadoc.Engine, a *ntadoc.Archive, t ntadoc.Task, top int) error {
-	res := &ntadoc.BatchResult{}
-	var err error
-	switch t {
-	case ntadoc.TaskWordCount:
-		res.WordCount, err = eng.WordCount()
-	case ntadoc.TaskSort:
-		res.Sort, err = eng.Sort()
-	case ntadoc.TaskTermVectors:
-		res.TermVectors, err = eng.TermVectors(top)
-	case ntadoc.TaskInvertedIndex:
-		res.InvertedIndex, err = eng.InvertedIndex()
-	case ntadoc.TaskSequenceCount:
-		res.SequenceCount, err = eng.SequenceCount()
-	case ntadoc.TaskRankedInvertedIndex:
-		res.RankedInvertedIndex, err = eng.RankedInvertedIndex()
-	}
-	if err != nil {
-		return err
-	}
-	printTaskResult(t, res, a.DocumentNames(), top)
-	return nil
 }
 
 // printTaskResult renders one task's slot of a BatchResult.

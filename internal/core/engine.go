@@ -774,6 +774,11 @@ func (e *Engine) resolveStrategy() Strategy {
 	return chooseStrategy(e.numFiles, e.numRules, e.bodySymbols, e.mergeWork)
 }
 
+// Strategy reports the per-file traversal direction the cost-based planner
+// resolved for this engine (never Auto) — operational introspection for the
+// serving layer's /debug/engine surface.
+func (e *Engine) Strategy() Strategy { return e.resolveStrategy() }
+
 // errEngine wraps internal failures with engine context.
 func errEngine(op string, err error) error {
 	return fmt.Errorf("core: %s: %w", op, err)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"github.com/text-analytics/ntadoc/internal/analytics"
 	"github.com/text-analytics/ntadoc/internal/cfg"
 	"github.com/text-analytics/ntadoc/internal/dict"
@@ -27,6 +29,13 @@ type exec struct {
 	meter *metrics.Meter
 	sess  *sessionState // nil on the engine's persistent path
 
+	// ctx, when non-nil, cancels the traversal between per-rule (or
+	// per-file) operations: the walks poll it at their loop heads and
+	// unwind with ctx.Err().  Only query sessions set it — the persistent
+	// path never aborts mid-phase, so its crash-consistency story is
+	// unchanged.
+	ctx context.Context
+
 	// Body-read scratch, reused across reads.  Valid only until the next
 	// read of the same kind; no caller retains these slices.
 	bodyFlat  []uint32
@@ -41,6 +50,19 @@ type exec struct {
 type sessionState struct {
 	weights   []uint64
 	remaining []uint64
+}
+
+// canceled reports the execution context's cancellation state: nil on the
+// persistent path (no context) and between cancellations, ctx.Err() once the
+// session's request has been canceled or has passed its deadline.  The walks
+// call it once per rule or file processed — frequent enough to bound
+// cancellation latency by one body read, cheap enough (two atomic loads) to
+// vanish against the modeled work of the visit itself.
+func (x *exec) canceled() error {
+	if x.ctx == nil {
+		return nil
+	}
+	return x.ctx.Err()
 }
 
 // kcounter is one kernel-managed counter: a bounded pool table on the

@@ -108,6 +108,9 @@ func (x *exec) addSegmentSeqCounts(syms []cfg.Symbol, counter *kcounter) error {
 		if !s.IsRule() {
 			continue
 		}
+		if err := x.canceled(); err != nil {
+			return err
+		}
 		off := e.meta(s.RuleIndex()).seqOff()
 		if off == 0 {
 			continue // rule has no internal n-grams
@@ -190,6 +193,9 @@ func (x *exec) addWeightedLocals(counter *kcounter, weightOf func(r uint32) uint
 		w := weightOf(r)
 		if w == 0 {
 			continue
+		}
+		if err := x.canceled(); err != nil {
+			return err
 		}
 		tbl, err := e.localTable(r)
 		if err != nil {

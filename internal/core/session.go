@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"github.com/text-analytics/ntadoc/internal/analytics"
 	"github.com/text-analytics/ntadoc/internal/metrics"
 )
@@ -37,6 +39,21 @@ func (e *Engine) NewSession() *Session {
 // RunOps implements analytics.Executor: the batch executes in one fused
 // traversal against session-local state.
 func (s *Session) RunOps(ops []analytics.Op) ([]any, error) {
+	return s.runOps(nil, ops)
+}
+
+// RunOpsContext is RunOps with cancellation: the traversal polls ctx at its
+// loop heads and unwinds with ctx.Err() (wrapped in the usual engine error)
+// once the request is canceled or past its deadline.  The session stays
+// usable afterwards — every run starts from freshly reset session state, so
+// an abandoned traversal leaves nothing behind.  A session must not run two
+// batches concurrently; serving layers give each in-flight request its own
+// pooled session.
+func (s *Session) RunOpsContext(ctx context.Context, ops []analytics.Op) ([]any, error) {
+	return s.runOps(ctx, ops)
+}
+
+func (s *Session) runOps(ctx context.Context, ops []analytics.Op) ([]any, error) {
 	if len(ops) == 0 {
 		return nil, nil
 	}
@@ -45,6 +62,8 @@ func (s *Session) RunOps(ops []analytics.Op) ([]any, error) {
 			return nil, ErrNoSequences
 		}
 	}
+	s.run.ctx = ctx
+	defer func() { s.run.ctx = nil }()
 	results, _, err := s.run.runPlan(ops)
 	if err != nil {
 		return nil, errEngine("session", err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -763,13 +764,27 @@ func (se *ShardedEngine) NewSession() *ShardedSession {
 
 // RunOps implements analytics.Executor over session-local state.
 func (ss *ShardedSession) RunOps(ops []analytics.Op) ([]any, error) {
+	return ss.runOps(nil, ops)
+}
+
+// RunOpsContext is RunOps with cancellation: every shard session polls the
+// same ctx, so canceling the request unwinds all lanes of the scatter-gather
+// promptly (within one body read per lane).  The cancellation surfaces as
+// ErrShardFailed with ctx.Err() in its cause chain — callers distinguish a
+// canceled batch from a genuine shard failure with errors.Is against
+// context.Canceled / context.DeadlineExceeded.
+func (ss *ShardedSession) RunOpsContext(ctx context.Context, ops []analytics.Op) ([]any, error) {
+	return ss.runOps(ctx, ops)
+}
+
+func (ss *ShardedSession) runOps(ctx context.Context, ops []analytics.Op) ([]any, error) {
 	if len(ops) == 0 {
 		return nil, nil
 	}
 	units := plainUnits(len(ss.sessions), len(ops))
 	results, _, _, err := ss.se.scatterGather(ops, units,
 		func(u unit, sub []analytics.Op) ([]any, metrics.Span, error) {
-			res, err := ss.sessions[u.shard].RunOps(sub)
+			res, err := ss.sessions[u.shard].runOps(ctx, sub)
 			return res, metrics.Span{}, err
 		}, nil, &ss.meter)
 	return results, err

@@ -249,6 +249,9 @@ func (x *exec) topDownPass(emit func(word uint32, count uint64) error) error {
 		return err
 	}
 	for queue.len() > 0 {
+		if err := x.canceled(); err != nil {
+			return err
+		}
 		r, err := queue.pop()
 		if err != nil {
 			return err
@@ -373,6 +376,9 @@ func (x *exec) perFileBottomUp(words, seqs bool, fn func(doc uint32, wordC, seqC
 		topo := x.readTopo()
 		lists = make([]*kcounter, e.numRules)
 		for i := len(topo) - 1; i >= 0; i-- {
+			if err := x.canceled(); err != nil {
+				return err
+			}
 			r := topo[i]
 			m := e.meta(r)
 			tbl, err := x.newKCounter(tableBound(m.bound(), m.expLen(), e.numWords), int64(e.numWords))
@@ -424,6 +430,9 @@ func (x *exec) perFileBottomUp(words, seqs bool, fn func(doc uint32, wordC, seqC
 	}
 	root := x.readRoot()
 	for doc, seg := range segmentsOf(root) {
+		if err := x.canceled(); err != nil {
+			return err
+		}
 		var wc, sc *kcounter
 		if words {
 			var err error
@@ -486,6 +495,9 @@ func (x *exec) perFileTopDown(words, seqs bool, fn func(doc uint32, wordC, seqC 
 		fileWeight = make([]uint64, e.numRules)
 	}
 	for doc, seg := range segmentsOf(root) {
+		if err := x.canceled(); err != nil {
+			return err
+		}
 		var wc, sc *kcounter
 		var err error
 		if words {
@@ -517,6 +529,9 @@ func (x *exec) perFileTopDown(words, seqs bool, fn func(doc uint32, wordC, seqC 
 			w := x.weight(r)
 			if w == 0 {
 				continue
+			}
+			if err := x.canceled(); err != nil {
+				return err
 			}
 			x.setWeight(r, 0)
 			if seqs {

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is an LRU cache of marshaled result bodies keyed by
+// (generation, canonical batch signature).  The generation is part of the
+// key, so bumping it on recovery or reopen instantly invalidates every
+// cached result from the previous epoch; purge additionally drops the stale
+// entries rather than waiting for LRU pressure to evict them.
+type resultCache struct {
+	max int
+
+	mu  sync.Mutex
+	ll  *list.List               // guarded by mu; front = most recent
+	ent map[string]*list.Element // guarded by mu
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, ll: list.New(), ent: make(map[string]*list.Element)}
+}
+
+// get returns the cached body for key, refreshing its recency.  The bytes
+// are shared and must not be mutated by callers.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.ent[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put inserts or refreshes key, evicting the least recently used entry past
+// capacity.
+func (c *resultCache) put(key string, body []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.ent[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		return
+	}
+	c.ent[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	for c.ll.Len() > c.max {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.ent, el.Value.(*cacheEntry).key)
+	}
+}
+
+// purge drops every entry.
+func (c *resultCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.ent)
+}
+
+// len reports the number of cached entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// coalescer deduplicates identical in-flight batches (singleflight): the
+// first request for a canonical batch signature becomes the leader and
+// executes it, every concurrent identical request waits for the leader's
+// result and shares its bytes.  Under a burst of identical queries the
+// engine traverses once, not N times — the serving-layer analogue of the
+// kernel's fused batches.
+type coalescer struct {
+	mu      sync.Mutex
+	flights map[string]*flight // guarded by mu
+}
+
+// flight is one in-progress execution; done closes after body/err are set.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{flights: make(map[string]*flight)}
+}
+
+// do executes fn once per key among concurrent callers.  It reports whether
+// the result was shared from another request's flight.  A follower whose
+// own ctx dies while waiting unwinds with ctx.Err().  If the leader's
+// execution died of the *leader's* cancellation or deadline, its error is
+// not forced onto followers: a still-live follower retries and becomes the
+// new leader.
+func (c *coalescer) do(ctx context.Context, key string, fn func() ([]byte, error)) (body []byte, shared bool, err error) {
+	for {
+		f, leader := c.lookupOrRegister(key)
+		if !leader {
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, true, ctx.Err()
+			}
+			if ctxErr(f.err) && ctx.Err() == nil {
+				continue // leader's request died, ours is live: take over
+			}
+			return f.body, true, f.err
+		}
+
+		f.body, f.err = fn()
+
+		c.unregister(key)
+		close(f.done)
+		return f.body, false, f.err
+	}
+}
+
+// lookupOrRegister returns the in-progress flight for key, or registers a
+// new one and reports the caller as its leader.
+func (c *coalescer) lookupOrRegister(key string) (f *flight, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.flights[key]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	return f, true
+}
+
+// unregister removes a finished flight.
+func (c *coalescer) unregister(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.flights, key)
+}
+
+// ctxErr reports whether err is a context cancellation or deadline.
+func ctxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,135 @@
+// Package server is the query-serving layer over a loaded archive: it owns
+// a pool of read-only query sessions with admission control, a coalescer
+// that deduplicates identical in-flight batches, and an LRU cache of op
+// results keyed by (archive generation, canonical batch signature), and
+// exposes the analytics ops over a JSON HTTP API plus the operational
+// surface (/metrics, /healthz, /debug/engine) the daemon ships with.
+//
+// The request-shaping codepath is shared with the one-shot CLI: both reduce
+// a request to an ntadoc.BatchSpec, whose canonical Signature keys the
+// coalescer and the cache.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"github.com/text-analytics/ntadoc"
+)
+
+// Request is the body of /v1/query and /v1/batch: one task or several, plus
+// the batch's only parameter.  GET requests carry the same fields as query
+// parameters (?task=wordcount,sort&k=5).
+type Request struct {
+	// Task is the single-task convenience form; Tasks the batch form.
+	// Both accept comma-separated lists and may be combined.
+	Task  string   `json:"task,omitempty"`
+	Tasks []string `json:"tasks,omitempty"`
+	// TermVectorK truncates term vectors to this many entries (0 = default).
+	TermVectorK int `json:"termvector_k,omitempty"`
+}
+
+// Spec canonicalizes the request — the same shaping the CLI's one-shot path
+// uses, so "sort,wordcount" here and "wordcount,sort" there are one batch.
+func (r Request) Spec() (ntadoc.BatchSpec, error) {
+	var names []string
+	for _, field := range append([]string{r.Task}, r.Tasks...) {
+		for _, name := range strings.Split(field, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				names = append(names, name)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return ntadoc.BatchSpec{}, fmt.Errorf("no tasks requested")
+	}
+	return ntadoc.ParseBatchSpec(names, r.TermVectorK)
+}
+
+// DocTerms is one document's term vector with its name attached.
+type DocTerms struct {
+	Doc   string             `json:"doc"`
+	Terms []ntadoc.TermCount `json:"terms"`
+}
+
+// Result is the wire form of a BatchResult: one field per task, populated
+// for the tasks the batch requested.  encoding/json emits map keys sorted,
+// so a Result marshals to identical bytes for identical results — the
+// property the cache stores, the coalescer shares, and the e2e test asserts
+// against direct library execution.
+type Result struct {
+	WordCount           map[string]uint64            `json:"wordcount,omitempty"`
+	Sort                []ntadoc.TermCount           `json:"sort,omitempty"`
+	TermVectors         []DocTerms                   `json:"termvector,omitempty"`
+	InvertedIndex       map[string][]string          `json:"invertedindex,omitempty"`
+	SequenceCount       map[string]uint64            `json:"seqcount,omitempty"`
+	RankedInvertedIndex map[string][]ntadoc.DocCount `json:"rankedindex,omitempty"`
+}
+
+// ResultOf builds the wire result, naming each term vector's document.
+func ResultOf(res *ntadoc.BatchResult, docs []string) Result {
+	out := Result{
+		WordCount:           res.WordCount,
+		Sort:                res.Sort,
+		InvertedIndex:       res.InvertedIndex,
+		SequenceCount:       res.SequenceCount,
+		RankedInvertedIndex: res.RankedInvertedIndex,
+	}
+	if res.TermVectors != nil {
+		out.TermVectors = make([]DocTerms, len(res.TermVectors))
+		for i, terms := range res.TermVectors {
+			name := ""
+			if i < len(docs) {
+				name = docs[i]
+			}
+			out.TermVectors[i] = DocTerms{Doc: name, Terms: terms}
+		}
+	}
+	return out
+}
+
+// BatchResult converts back to the library form plus the document names
+// (empty strings where the daemon did not know them) — the client CLI's
+// bridge to the shared result printers.
+func (r Result) BatchResult() (*ntadoc.BatchResult, []string) {
+	out := &ntadoc.BatchResult{
+		WordCount:           r.WordCount,
+		Sort:                r.Sort,
+		InvertedIndex:       r.InvertedIndex,
+		SequenceCount:       r.SequenceCount,
+		RankedInvertedIndex: r.RankedInvertedIndex,
+	}
+	var docs []string
+	if r.TermVectors != nil {
+		out.TermVectors = make([][]ntadoc.TermCount, len(r.TermVectors))
+		docs = make([]string, len(r.TermVectors))
+		for i, dt := range r.TermVectors {
+			out.TermVectors[i] = dt.Terms
+			docs[i] = dt.Doc
+		}
+	}
+	return out, docs
+}
+
+// EncodeResult marshals the wire result body that /v1 responses embed, the
+// cache stores, and the e2e test byte-compares.
+func EncodeResult(res *ntadoc.BatchResult, docs []string) ([]byte, error) {
+	return json.Marshal(ResultOf(res, docs))
+}
+
+// Response is the envelope of /v1/query and /v1/batch.
+type Response struct {
+	// Generation identifies the archive build and recovery epoch the result
+	// was computed against; it changes on failover recovery, invalidating
+	// client-side caches along with the server's.
+	Generation string `json:"generation"`
+	// Signature is the canonical batch signature the request reduced to.
+	Signature string `json:"signature"`
+	// Cached reports a result served from the LRU cache; Coalesced one
+	// shared with a concurrent identical request.
+	Cached    bool `json:"cached,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Result is the marshaled wire Result.
+	Result json.RawMessage `json:"result"`
+}

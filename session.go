@@ -1,0 +1,204 @@
+package ntadoc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/text-analytics/ntadoc/internal/core"
+	"github.com/text-analytics/ntadoc/internal/nvm"
+)
+
+// QuerySession is a read-only query executor over an engine: it runs batches
+// through the same operation kernel as the engine's task methods, but keeps
+// all traversal state in session-local DRAM, so any number of sessions may
+// serve queries concurrently over one loaded archive.  This is the unit the
+// daemon pools — the archive is opened once, and every concurrent request
+// borrows a session.
+//
+// Sessions model the post-load query phase: they must not run concurrently
+// with engine task methods, Recover, or Close (those mutate pool scratch),
+// only with each other.  One session serves one batch at a time.
+type QuerySession struct {
+	e   *Engine
+	one *core.Session
+	sh  *core.ShardedSession
+}
+
+// NewSession opens a query session.  Sessions require an N-TADOC medium
+// (NVM/SSD/HDD); the DRAM baseline engine has no session support.
+func (e *Engine) NewSession() (*QuerySession, error) {
+	switch {
+	case e.nt != nil:
+		return &QuerySession{e: e, one: e.nt.NewSession()}, nil
+	case e.sh != nil:
+		return &QuerySession{e: e, sh: e.sh.NewSession()}, nil
+	default:
+		return nil, fmt.Errorf("ntadoc: query sessions require an N-TADOC medium")
+	}
+}
+
+// RunBatch executes the tasks as one fused traversal against session-local
+// state, with cancellation: the kernel polls ctx at its loop heads, so a
+// canceled request (client disconnect, deadline) unwinds within one body
+// read per shard lane.  Results are bit-identical to Engine.RunBatch.
+func (s *QuerySession) RunBatch(ctx context.Context, tasks ...Task) (*BatchResult, error) {
+	return s.RunSpec(ctx, NewBatchSpec(tasks, 0))
+}
+
+// RunSpec executes a canonicalized batch with cancellation.  On
+// cancellation the error chain carries ctx.Err() (for sharded engines inside
+// a core.ErrShardFailed wrapper); test with errors.Is against
+// context.Canceled or context.DeadlineExceeded.
+func (s *QuerySession) RunSpec(ctx context.Context, spec BatchSpec) (*BatchResult, error) {
+	if len(spec.tasks) == 0 {
+		return &BatchResult{}, nil
+	}
+	ops, err := spec.ops()
+	if err != nil {
+		return nil, err
+	}
+	var results []any
+	if s.one != nil {
+		results, err = s.one.RunOpsContext(ctx, ops)
+	} else {
+		results, err = s.sh.RunOpsContext(ctx, ops)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s.e.convertBatch(spec, results), nil
+}
+
+// IsDeviceFailure reports whether err originated in a simulated device
+// failure (a dead shard primary) rather than a semantic error or a
+// cancellation — the class of error Engine.Recover can mask by promoting
+// followers.
+func IsDeviceFailure(err error) bool {
+	return errors.Is(err, nvm.ErrFailPoint) || errors.Is(err, nvm.ErrClosed)
+}
+
+// DocumentNames returns the archive's document names in corpus order —
+// the index space of per-document results like term vectors.
+func (e *Engine) DocumentNames() []string {
+	return append([]string(nil), e.names...)
+}
+
+// BuildTag returns the archive's build tag: the shared rule table's
+// checksum for unified sharded archives, 0 otherwise.  The daemon folds it
+// into cache generations so results can never outlive the build that
+// produced them.
+func (e *Engine) BuildTag() uint32 {
+	if e.a != nil && e.a.shared != nil {
+		return e.a.shared.Checksum()
+	}
+	return 0
+}
+
+// FailoverCount reports how many shard failovers the engine has performed
+// (sharded engines only; 0 otherwise).
+func (e *Engine) FailoverCount() int {
+	if e.sh != nil {
+		return e.sh.FailoverCount()
+	}
+	return 0
+}
+
+// LiveFollowers reports the number of live follower devices per shard, or
+// nil for unsharded or unreplicated engines.
+func (e *Engine) LiveFollowers() []int {
+	if e.sh == nil {
+		return nil
+	}
+	out := make([]int, e.sh.NumShards())
+	any := false
+	for i := range out {
+		out[i] = len(e.sh.Followers(i))
+		any = any || out[i] > 0
+	}
+	if !any {
+		return nil
+	}
+	return out
+}
+
+// ShardStrategies reports the per-file traversal direction the cost-based
+// planner resolved for each shard (one entry for unsharded N-TADOC engines,
+// nil for DRAM engines).
+func (e *Engine) ShardStrategies() []string {
+	if e.nt != nil {
+		return []string{e.nt.Strategy().String()}
+	}
+	if e.sh == nil {
+		return nil
+	}
+	out := make([]string, e.sh.NumShards())
+	for i := range out {
+		out[i] = e.sh.Shard(i).Strategy().String()
+	}
+	return out
+}
+
+// DeviceCounters mirrors the cumulative statistics of the engine's
+// simulated device(s), summed across shards: the counters behind the
+// modeled-time evaluation, exported for the daemon's /metrics surface.
+type DeviceCounters struct {
+	Reads         int64
+	Writes        int64
+	BytesRead     int64
+	BytesWritten  int64
+	GranuleReads  int64
+	GranuleWrites int64
+	CacheHits     int64
+	CacheMisses   int64
+	Flushes       int64
+	FlushedBytes  int64
+	Drains        int64
+	Seeks         int64
+	ModeledNanos  int64
+}
+
+// DeviceCounters returns the engine's cumulative device statistics (zero
+// for DRAM engines, which have no simulated device).
+func (e *Engine) DeviceCounters() DeviceCounters {
+	var st nvm.Stats
+	switch {
+	case e.nt != nil:
+		st = e.nt.Device().Stats()
+	case e.sh != nil:
+		st = e.sh.DeviceStats()
+	}
+	return DeviceCounters{
+		Reads:         st.Reads,
+		Writes:        st.Writes,
+		BytesRead:     st.BytesRead,
+		BytesWritten:  st.BytesWritten,
+		GranuleReads:  st.GranuleReads,
+		GranuleWrites: st.GranuleWrites,
+		CacheHits:     st.CacheHits,
+		CacheMisses:   st.CacheMisses,
+		Flushes:       st.Flushes,
+		FlushedBytes:  st.FlushedBytes,
+		Drains:        st.Drains,
+		Seeks:         st.Seeks,
+		ModeledNanos:  st.ModeledNanos,
+	}
+}
+
+// Recover drives the engine's failover machinery after a query session
+// surfaced a device failure: a sharded engine re-dispatches a minimal
+// engine-path batch, which retires any dead primary by promoting and
+// recovering one of its followers (bit-identical results, see
+// core.ShardedEngine).  Engines without a failover path (unsharded or
+// unreplicated) return an error.
+//
+// Recover runs on the engine task path: callers must quiesce query sessions
+// first and must discard existing sessions afterwards — they may reference
+// retired shard engines.
+func (e *Engine) Recover() error {
+	if e.sh == nil {
+		return fmt.Errorf("ntadoc: engine has no failover path to recover through")
+	}
+	_, err := e.sh.WordCount()
+	return err
+}
