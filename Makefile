@@ -3,7 +3,7 @@ GO ?= go
 # Seconds of coverage-guided fuzzing per target in fuzz-smoke.
 FUZZTIME ?= 20s
 
-.PHONY: all build vet staticcheck lint test race bench-smoke errcheck crashcheck failovercheck fuzz-smoke e2e loadgen-smoke check
+.PHONY: all build vet staticcheck lint test race bench-smoke errcheck crashcheck failovercheck ingestcheck fuzz-smoke e2e loadgen-smoke check
 
 all: check
 
@@ -76,6 +76,16 @@ failovercheck:
 		-persistence both -points 6 -seeds 3 -seed 42 -files 6 -tokens 120 \
 		-vocab 40 -corpus-seed 7
 
+# Exhaustive online-ingestion crash exploration: every flush/drain event of
+# the live append stream (with a mid-stream compaction) under both
+# persistence strategies.  Recovery must land on a batch boundary, keep
+# every acknowledged append, serve the exact prefix result, and stay
+# appendable.  The sampled version runs inside `make test` via
+# internal/crashcheck; corpus and seeds are pinned here so runs reproduce.
+ingestcheck:
+	$(GO) run ./cmd/crashcheck -ingest -task wordcount -persistence both \
+		-points 0 -seeds 3 -seed 42 -files 4 -tokens 120 -vocab 40 -corpus-seed 7
+
 # A short coverage-guided run of every fuzz target (archive parsing, the
 # compress/decompress round trip, op-log crash recovery).  Each target gets
 # FUZZTIME of fuzzing on top of its seed corpus; new crashers land in
@@ -102,4 +112,4 @@ loadgen-smoke:
 	$(GO) run ./cmd/benchfig -fig loadgen -scale 0.05 -loadworkers 8 \
 		-loadrequests 64 -loadout ""
 
-check: build vet staticcheck lint test race bench-smoke crashcheck failovercheck fuzz-smoke e2e loadgen-smoke
+check: build vet staticcheck lint test race bench-smoke crashcheck failovercheck ingestcheck fuzz-smoke e2e loadgen-smoke

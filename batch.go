@@ -271,11 +271,12 @@ func (e *Engine) convTermVectors(tv [][]analytics.WordFreq) [][]TermCount {
 }
 
 func (e *Engine) convInvertedIndex(inv map[uint32][]uint32) map[string][]string {
+	table := e.docNames()
 	out := make(map[string][]string, len(inv))
 	for id, docs := range inv {
 		names := make([]string, len(docs))
 		for i, doc := range docs {
-			names[i] = e.names[doc]
+			names[i] = table[doc]
 		}
 		out[e.a.d.Word(id)] = names
 	}
@@ -291,11 +292,12 @@ func (e *Engine) convSequenceCounts(sc map[analytics.Seq]uint64) map[string]uint
 }
 
 func (e *Engine) convRankedIndex(rii map[analytics.Seq][]analytics.DocFreq) map[string][]DocCount {
+	table := e.docNames()
 	out := make(map[string][]DocCount, len(rii))
 	for q, postings := range rii {
 		row := make([]DocCount, len(postings))
 		for i, p := range postings {
-			row[i] = DocCount{Doc: e.names[p.Doc], Count: p.Freq}
+			row[i] = DocCount{Doc: table[p.Doc], Count: p.Freq}
 		}
 		out[e.seqKey(q)] = row
 	}

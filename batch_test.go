@@ -1,0 +1,116 @@
+package ntadoc
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestBatchSpecGoldenSignatures pins the canonical signature strings: the
+// daemon's coalescer and result cache key on them, so a silent change here
+// would strand cached results and split identical in-flight requests.
+func TestBatchSpecGoldenSignatures(t *testing.T) {
+	cases := []struct {
+		name  string
+		tasks []Task
+		k     int
+		want  string
+	}{
+		{"empty", nil, 0, ""},
+		{"empty with k", nil, 5, ""},
+		{"single", []Task{TaskWordCount}, 0, "wordcount"},
+		{"all six", AllTasks, 0,
+			"wordcount+sort+termvector+invertedindex+seqcount+rankedindex"},
+		{"all six custom k", AllTasks, 5,
+			"wordcount+sort+termvector+invertedindex+seqcount+rankedindex@k=5"},
+		{"k without termvector dropped", []Task{TaskSort, TaskWordCount}, 7, "wordcount+sort"},
+		{"default k elided", []Task{TaskTermVectors}, 10, "termvector"},
+		{"zero k elided", []Task{TaskTermVectors}, 0, "termvector"},
+		{"negative k elided", []Task{TaskTermVectors}, -3, "termvector"},
+		{"custom k kept", []Task{TaskTermVectors}, 3, "termvector@k=3"},
+	}
+	for _, tc := range cases {
+		if got := NewBatchSpec(tc.tasks, tc.k).Signature(); got != tc.want {
+			t.Errorf("%s: Signature() = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestBatchSpecPermutationStability feeds the same task set in several
+// orders, with duplicates, and with differing term-vector lengths that
+// normalize identically: every variant must canonicalize to one spec.
+func TestBatchSpecPermutationStability(t *testing.T) {
+	canonical := NewBatchSpec([]Task{TaskWordCount, TaskTermVectors, TaskSort}, 5)
+	variants := []struct {
+		name  string
+		tasks []Task
+		k     int
+	}{
+		{"sorted", []Task{TaskWordCount, TaskSort, TaskTermVectors}, 5},
+		{"reversed", []Task{TaskTermVectors, TaskSort, TaskWordCount}, 5},
+		{"rotated", []Task{TaskSort, TaskTermVectors, TaskWordCount}, 5},
+		{"duplicate head", []Task{TaskWordCount, TaskWordCount, TaskSort, TaskTermVectors}, 5},
+		{"duplicate termvector", []Task{TaskTermVectors, TaskSort, TaskTermVectors, TaskWordCount}, 5},
+		{"all duplicated", []Task{TaskSort, TaskTermVectors, TaskWordCount,
+			TaskWordCount, TaskTermVectors, TaskSort}, 5},
+	}
+	for _, v := range variants {
+		got := NewBatchSpec(v.tasks, v.k)
+		if got.Signature() != canonical.Signature() {
+			t.Errorf("%s: Signature() = %q, want %q", v.name, got.Signature(), canonical.Signature())
+		}
+		if !reflect.DeepEqual(got.Tasks(), canonical.Tasks()) {
+			t.Errorf("%s: Tasks() = %v, want %v", v.name, got.Tasks(), canonical.Tasks())
+		}
+		if got.TermVectorK() != canonical.TermVectorK() {
+			t.Errorf("%s: TermVectorK() = %d, want %d", v.name, got.TermVectorK(), canonical.TermVectorK())
+		}
+	}
+
+	// The same set without term vectors ignores k entirely: any k value
+	// yields the identical spec (duplicate requests differing only in a
+	// meaningless k coalesce to one flight).
+	for _, k := range []int{-1, 0, 3, 10, 99} {
+		got := NewBatchSpec([]Task{TaskSort, TaskWordCount, TaskSort}, k)
+		if got.Signature() != "wordcount+sort" {
+			t.Errorf("k=%d without termvector: Signature() = %q, want %q", k, got.Signature(), "wordcount+sort")
+		}
+	}
+}
+
+// TestBatchSpecEmpty checks the zero batch: no tasks, no sequences, empty
+// signature, and ParseBatchSpec of an empty name list produces the same.
+func TestBatchSpecEmpty(t *testing.T) {
+	empty := NewBatchSpec(nil, 9)
+	if n := len(empty.Tasks()); n != 0 {
+		t.Errorf("empty spec has %d tasks", n)
+	}
+	if empty.NeedsSequences() {
+		t.Error("empty spec claims to need sequences")
+	}
+	if sig := empty.Signature(); sig != "" {
+		t.Errorf("empty spec signature = %q", sig)
+	}
+	parsed, err := ParseBatchSpec(nil, 9)
+	if err != nil {
+		t.Fatalf("ParseBatchSpec(nil): %v", err)
+	}
+	if parsed.Signature() != empty.Signature() || parsed.TermVectorK() != empty.TermVectorK() {
+		t.Errorf("ParseBatchSpec(nil) = %+v, want %+v", parsed, empty)
+	}
+}
+
+// TestParseBatchSpecNormalizes checks the name-list front door applies the
+// same canonicalization (whitespace, duplicates, ordering) and rejects
+// unknown names.
+func TestParseBatchSpecNormalizes(t *testing.T) {
+	spec, err := ParseBatchSpec([]string{" sort", "wordcount ", "sort", "termvector"}, 5)
+	if err != nil {
+		t.Fatalf("ParseBatchSpec: %v", err)
+	}
+	if want := "wordcount+sort+termvector@k=5"; spec.Signature() != want {
+		t.Errorf("Signature() = %q, want %q", spec.Signature(), want)
+	}
+	if _, err := ParseBatchSpec([]string{"wordcount", "bogus"}, 0); err == nil {
+		t.Error("ParseBatchSpec accepted unknown task name")
+	}
+}

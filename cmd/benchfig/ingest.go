@@ -1,0 +1,287 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"reflect"
+	"runtime"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"github.com/text-analytics/ntadoc"
+	"github.com/text-analytics/ntadoc/internal/datagen"
+	"github.com/text-analytics/ntadoc/internal/harness"
+)
+
+// Ingest flags.  Like loadgen, the ingest figure is excluded from -fig all:
+// it measures wall-clock append throughput and query latency under ingest,
+// not modeled device time.
+var (
+	ingestDataset = flag.String("ingestdataset", "B", "ingest: dataset analogue to stream (B = many small documents)")
+	ingestDocs    = flag.Int("ingestdocs", 200, "ingest: documents appended after the base build")
+	ingestBatch   = flag.Int("ingestbatch", 8, "ingest: documents per append batch")
+	ingestShards  = flag.Int("ingestshards", 2, "ingest: shard count of the live engine")
+	ingestOut     = flag.String("ingestout", "BENCH_ingest.json", "ingest: result file ('' disables)")
+)
+
+// ingestCell is the measured row of BENCH_ingest.json.
+type ingestCell struct {
+	BaseDocs     int     `json:"base_docs"`
+	AppendedDocs int     `json:"appended_docs"`
+	Batches      int     `json:"batches"`
+	AppendWallMs float64 `json:"append_wall_ms"`
+	DocsPerSec   float64 `json:"docs_per_sec"`
+	AppendP50Ms  float64 `json:"append_p50_ms"`
+	AppendP95Ms  float64 `json:"append_p95_ms"`
+
+	// Query latencies observed by a concurrent reader during the stream.
+	Queries    int     `json:"queries_during_ingest"`
+	QueryP50Ms float64 `json:"query_p50_ms"`
+	QueryP95Ms float64 `json:"query_p95_ms"`
+
+	// Grammar sizes: base alone, base+delta served live, delta merged into
+	// the base (compaction), and a from-scratch rebuild over the same docs.
+	BaseSymbols       int64   `json:"base_symbols"`
+	DeltaSymbols      int64   `json:"delta_symbols"`
+	DeltaOverheadPct  float64 `json:"delta_overhead_pct"`
+	MergedSymbols     int64   `json:"merged_symbols"`
+	RebuildSymbols    int64   `json:"rebuild_symbols"`
+	MergedOverheadPct float64 `json:"merged_overhead_pct"`
+
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// figIngest measures online ingestion end to end on the public API: a live
+// sharded engine takes one append batch at a time while a concurrent reader
+// keeps querying, then the delta is compacted and the grammar compared
+// against a from-scratch rebuild over the identical document set.
+func figIngest(specs []datagen.Spec) error {
+	var spec datagen.Spec
+	found := false
+	for _, s := range specs {
+		if s.Name == *ingestDataset {
+			spec, found = s, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("ingest: unknown dataset %q", *ingestDataset)
+	}
+	header(fmt.Sprintf("ingest: live appends on dataset %s (%d docs in batches of %d), K=%d",
+		spec.Name, *ingestDocs, *ingestBatch, *ingestShards))
+
+	c, err := harness.GetCorpus(spec)
+	if err != nil {
+		return err
+	}
+	if len(c.Files) < 2 {
+		return fmt.Errorf("ingest: dataset %s has %d files; need at least 2 to stream", spec.Name, len(c.Files))
+	}
+	appended := *ingestDocs
+	if max := len(c.Files) / 2; appended > max {
+		appended = max
+	}
+	base := len(c.Files) - appended
+
+	// Rebuild the public-API dictionary in ID order and render the streamed
+	// documents back to text (tokenization round-trips single spaces).
+	words := c.Dict.Words()
+	dct := ntadoc.NewDictionary()
+	for _, w := range words {
+		dct.Intern(w)
+	}
+	names := make([]string, len(c.Files))
+	texts := make([]string, len(c.Files))
+	for i, f := range c.Files {
+		names[i] = fmt.Sprintf("doc%03d", i)
+		ws := make([]string, len(f))
+		for j, id := range f {
+			ws[j] = words[id]
+		}
+		texts[i] = strings.Join(ws, " ")
+	}
+
+	a, err := ntadoc.CompressTokensSharded(c.Files[:base], names[:base], dct, *ingestShards)
+	if err != nil {
+		return err
+	}
+	cell := ingestCell{BaseDocs: base, AppendedDocs: appended, BaseSymbols: a.Stats().GrammarSymbols}
+	eng, err := ntadoc.NewEngine(a, ntadoc.Options{IngestCapacity: 1 << 22})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	// Concurrent reader: queries run against live base+delta snapshots the
+	// whole time the stream is landing (appends never block queries).
+	stop := make(chan struct{})
+	done := make(chan []time.Duration)
+	go func() {
+		var lats []time.Duration
+		for {
+			select {
+			case <-stop:
+				done <- lats
+				return
+			default:
+			}
+			t0 := time.Now()
+			if _, err := eng.WordCount(); err == nil {
+				lats = append(lats, time.Since(t0))
+			}
+		}
+	}()
+
+	var appendLats []time.Duration
+	t0 := time.Now()
+	for lo := base; lo < len(c.Files); lo += *ingestBatch {
+		hi := lo + *ingestBatch
+		if hi > len(c.Files) {
+			hi = len(c.Files)
+		}
+		docs := make([]ntadoc.Document, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			docs = append(docs, ntadoc.Document{Name: names[i], Text: texts[i]})
+		}
+		tb := time.Now()
+		if err := eng.Append(docs); err != nil {
+			close(stop)
+			<-done
+			return fmt.Errorf("ingest: append batch at doc %d: %w", lo, err)
+		}
+		appendLats = append(appendLats, time.Since(tb))
+	}
+	wall := time.Since(t0)
+	close(stop)
+	queryLats := <-done
+
+	st := eng.IngestStats()
+	cell.Batches = int(st.Batches)
+	cell.DeltaSymbols = st.DeltaSymbols
+	cell.AppendWallMs = msRound(wall)
+	cell.DocsPerSec = math.Round(float64(appended)/wall.Seconds()*10) / 10
+	cell.AppendP50Ms, cell.AppendP95Ms = latPair(appendLats)
+	cell.Queries = len(queryLats)
+	cell.QueryP50Ms, cell.QueryP95Ms = latPair(queryLats)
+	cell.DeltaOverheadPct = pctRound(float64(cell.DeltaSymbols) / float64(cell.BaseSymbols))
+
+	// Delta vs rebuild: fold the archive's delta into the base (the offline
+	// form of what Compact does live) and rebuild from scratch for the floor.
+	if err := eng.Compact(); err != nil {
+		return fmt.Errorf("ingest: compact: %w", err)
+	}
+	live, err := eng.WordCount()
+	if err != nil {
+		return fmt.Errorf("ingest: post-compaction query: %w", err)
+	}
+	var buf strings.Builder
+	if _, err := a.WriteTo(&buf); err != nil {
+		return err
+	}
+	folded, err := ntadoc.ReadArchive(strings.NewReader(buf.String()))
+	if err != nil {
+		return err
+	}
+	cell.MergedSymbols = folded.Stats().GrammarSymbols
+
+	dct2 := ntadoc.NewDictionary()
+	for _, w := range words {
+		dct2.Intern(w)
+	}
+	rebuilt, err := ntadoc.CompressTokensSharded(c.Files, names, dct2, *ingestShards)
+	if err != nil {
+		return err
+	}
+	cell.RebuildSymbols = rebuilt.Stats().GrammarSymbols
+	cell.MergedOverheadPct = pctRound(float64(cell.MergedSymbols)/float64(cell.RebuildSymbols) - 1)
+
+	reng, err := ntadoc.NewEngine(rebuilt, ntadoc.Options{})
+	if err != nil {
+		return err
+	}
+	defer reng.Close()
+	want, err := reng.WordCount()
+	if err != nil {
+		return err
+	}
+	cell.BitIdentical = reflect.DeepEqual(live, want)
+	if !cell.BitIdentical {
+		return fmt.Errorf("ingest: post-compaction result differs from a from-scratch rebuild")
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "appended\tthroughput\tappend p50/p95\tquery p50/p95 (n)\tdelta overhead\tmerged vs rebuild\tbit-identical")
+	fmt.Fprintf(w, "%d docs / %d batches\t%.1f docs/s\t%.2f / %.2f ms\t%.2f / %.2f ms (%d)\t+%.1f%%\t%+.1f%%\t%v\n",
+		appended, cell.Batches, cell.DocsPerSec,
+		cell.AppendP50Ms, cell.AppendP95Ms,
+		cell.QueryP50Ms, cell.QueryP95Ms, cell.Queries,
+		cell.DeltaOverheadPct, cell.MergedOverheadPct, cell.BitIdentical)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if *ingestOut == "" {
+		return nil
+	}
+	return writeIngestJSON(*ingestOut, spec.Name, cell)
+}
+
+// latPair returns the p50 and p95 of the samples in rounded milliseconds.
+func latPair(lats []time.Duration) (p50, p95 float64) {
+	if len(lats) == 0 {
+		return 0, 0
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(p int) time.Duration {
+		i := p * len(sorted) / 100
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	return msRound(at(50)), msRound(at(95))
+}
+
+func pctRound(f float64) float64 { return math.Round(f*1000) / 10 }
+
+func writeIngestJSON(path, dataset string, cell ingestCell) error {
+	doc := struct {
+		Benchmark   string     `json:"benchmark"`
+		Date        string     `json:"date"`
+		Machine     string     `json:"machine"`
+		Methodology string     `json:"methodology"`
+		Dataset     string     `json:"dataset"`
+		Cell        ingestCell `json:"cell"`
+	}{
+		Benchmark: "benchfig -fig ingest",
+		Date:      time.Now().Format("2006-01-02"),
+		Machine: fmt.Sprintf("shared Linux container (nproc=%d); wall-clock latencies are noisy under external load",
+			runtime.NumCPU()),
+		Methodology: fmt.Sprintf("A %d-shard engine is built over the first part of dataset %s, then the rest of "+
+			"the corpus is streamed in through the public Append API (durable batches on the simulated NVM append "+
+			"log) while one concurrent reader keeps running WordCount against live base+delta snapshots.  After the "+
+			"stream, the delta is compacted and the grammar compared against a from-scratch rebuild over the "+
+			"identical document set — merged_overhead_pct is the compression price of incremental inference, and "+
+			"bit_identical asserts the compacted engine returns byte-identical results to the rebuild.  Latencies "+
+			"are wall-clock and vary with machine load; symbol counts and bit-identity are deterministic.",
+			*ingestShards, dataset),
+		Dataset: dataset,
+		Cell:    cell,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&doc); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return f.Sync()
+}

@@ -16,7 +16,8 @@
 //	benchfig -fig shards    sharded engine: parallel build + scatter-gather batch vs K=1
 //	benchfig -fig failover  replicated shards: failover overhead + replica-read tails
 //	benchfig -fig loadgen   serving layer: daemon throughput + latency percentiles
-//	benchfig -fig all       everything above except loadgen (wall-clock, not modeled)
+//	benchfig -fig ingest    online ingestion: append throughput, query latency under ingest
+//	benchfig -fig all       everything above except loadgen and ingest (wall-clock, not modeled)
 //
 // -scale shrinks the corpora for quick runs (default 1.0 = the scaled-down
 // analogues described in DESIGN.md).  Reported times are modeled times from
@@ -29,6 +30,7 @@ import (
 	"os"
 	"runtime/debug"
 	"runtime/pprof"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -89,14 +91,18 @@ func main() {
 		"fused":     figFused,
 		"shards":    figShards,
 		"failover":  figFailover,
-		// loadgen is deliberately not in the -fig all order: it measures
-		// wall-clock serving latency, not modeled device time.
+		// loadgen and ingest are deliberately not in the -fig all order: they
+		// measure wall-clock behavior, not modeled device time.
 		"loadgen": figLoadgen,
+		"ingest":  figIngest,
 	}
 	order := []string{"datasets", "prune", "5a", "5b", "6", "7", "dram", "table2", "phases", "traversal", "cross", "endurance", "fused", "shards", "failover"}
+	skipped := []string{"loadgen", "ingest"}
 
 	for rep := 0; rep < *benchrepeat; rep++ {
 		if *fig == "all" {
+			fmt.Printf("skipping %s (wall-clock figures; run each with -fig explicitly)\n",
+				strings.Join(skipped, ", "))
 			for _, name := range order {
 				if err := runners[name](specs); err != nil {
 					fatal(err)

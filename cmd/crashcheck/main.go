@@ -9,6 +9,7 @@
 //	crashcheck -task wordcount -persistence both -points 0 -seeds 3 -seed 42
 //	crashcheck -task wordcount -shards 3 -points 8
 //	crashcheck -failover -shards 3 -points 6
+//	crashcheck -ingest -points 0
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 		corpusSeed  = flag.Int64("corpus-seed", 7, "corpus generator seed")
 		shards      = flag.Int("shards", 1, "explore a k-way sharded engine instead (k >= 2)")
 		failover    = flag.Bool("failover", false, "explore the replication/failover matrix (needs -shards >= 2)")
+		ingest      = flag.Bool("ingest", false, "explore online ingestion: crash during live appends and compaction")
 		verbose     = flag.Bool("v", false, "print per-point progress while exploring")
 	)
 	flag.Parse()
@@ -78,6 +80,8 @@ func main() {
 			err error
 		)
 		switch {
+		case *ingest:
+			rep, err = crashcheck.RunIngest(cfg)
 		case *failover:
 			rep, err = crashcheck.RunFailover(cfg, *shards)
 		case *shards > 1:

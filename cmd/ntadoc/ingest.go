@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/text-analytics/ntadoc/internal/server"
+)
+
+// cmdAppend ships one durable append batch to a running daemon: the files
+// become one batch, committed atomically — after the daemon acknowledges,
+// every subsequent query reflects them.
+func cmdAppend(args []string) error {
+	fs := flag.NewFlagSet("append", flag.ExitOnError)
+	serverURL := fs.String("server", "http://localhost:8080", "base URL of a running ntadocd daemon")
+	retries := fs.Int("retries", 10, "retry attempts when a compaction swap rejects the append")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("append: no input files")
+	}
+	req := server.AppendRequest{Documents: make([]server.AppendDocument, 0, fs.NArg())}
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		req.Documents = append(req.Documents, server.AppendDocument{
+			Name: filepath.Base(path),
+			Text: string(data),
+		})
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	url := strings.TrimRight(*serverURL, "/") + "/v1/append"
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && attempt < *retries {
+			// A compaction swap was mid-flight; the append is simply retried.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			return fmt.Errorf("daemon: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		}
+		var ack server.AppendResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+			return fmt.Errorf("daemon: decoding response: %v", err)
+		}
+		fmt.Printf("appended %d documents; corpus epoch %d, generation %s\n",
+			ack.Appended, ack.Epoch, ack.Generation)
+		return nil
+	}
+}
+
+// cmdTail follows a daemon's live ingestion: it polls /v1/ingest and prints
+// a line whenever the corpus epoch advances — newly appended documents and
+// compactions as they land.  With -once it prints the current state and
+// exits; otherwise it follows until interrupted.
+func cmdTail(args []string) error {
+	fs := flag.NewFlagSet("tail", flag.ExitOnError)
+	serverURL := fs.String("server", "http://localhost:8080", "base URL of a running ntadocd daemon")
+	interval := fs.Duration("interval", 500*time.Millisecond, "poll cadence")
+	once := fs.Bool("once", false, "print the current ingestion state and exit")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("tail: takes no archive path (the daemon owns the archive)")
+	}
+	url := strings.TrimRight(*serverURL, "/") + "/v1/ingest"
+
+	fetch := func() (server.IngestInfo, error) {
+		var info server.IngestInfo
+		resp, err := http.Get(url)
+		if err != nil {
+			return info, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			return info, fmt.Errorf("daemon: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		}
+		err = json.NewDecoder(resp.Body).Decode(&info)
+		return info, err
+	}
+
+	last, err := fetch()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("corpus: %d documents, epoch %d, %d batches (%d appended, %d compacted over %d compactions), delta %d docs / %d symbols, log %d/%d bytes\n",
+		last.Documents, last.Epoch, last.Batches, last.AppendedDocs,
+		last.CompactedDocs, last.Compactions, last.DeltaDocs, last.DeltaSymbols,
+		last.LogBytes, last.LogCapacity)
+	if *once {
+		return nil
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return nil
+		case <-tick.C:
+		}
+		info, err := fetch()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tail:", err)
+			continue
+		}
+		if info.Epoch == last.Epoch && info.Generation == last.Generation {
+			continue
+		}
+		if n := info.Documents - last.Documents; n > 0 {
+			names := info.LastDocuments
+			if len(names) > n {
+				names = names[len(names)-n:]
+			}
+			fmt.Printf("epoch %d: +%d documents (%s), delta %d docs / %d symbols\n",
+				info.Epoch, n, strings.Join(names, ", "), info.DeltaDocs, info.DeltaSymbols)
+		}
+		if info.Compactions > last.Compactions {
+			fmt.Printf("epoch %d: compacted %d -> base (%d compactions total), delta now %d docs\n",
+				info.Epoch, last.DeltaDocs, info.Compactions, info.DeltaDocs)
+		}
+		last = info
+	}
+}

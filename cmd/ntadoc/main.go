@@ -10,6 +10,8 @@
 //	ntadoc analyze -server http://localhost:8080 -task wordcount,sort
 //	ntadoc decompress -dir out/ corpus.tdc
 //	ntadoc inspect -dot corpus.tdc > dag.dot
+//	ntadoc append -server http://localhost:8080 new1.txt new2.txt
+//	ntadoc tail -server http://localhost:8080
 //
 // With -server, analyze queries a running ntadocd daemon instead of opening
 // an archive locally; both paths shape the request through the same
@@ -55,6 +57,10 @@ func main() {
 		err = cmdDecompress(os.Args[2:])
 	case "inspect":
 		err = cmdInspect(os.Args[2:])
+	case "append":
+		err = cmdAppend(os.Args[2:])
+	case "tail":
+		err = cmdTail(os.Args[2:])
 	default:
 		usage()
 	}
@@ -65,7 +71,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ntadoc <compress|stats|analyze|decompress|inspect> [flags] ...")
+	fmt.Fprintln(os.Stderr, "usage: ntadoc <compress|stats|analyze|decompress|inspect|append|tail> [flags] ...")
 	os.Exit(2)
 }
 

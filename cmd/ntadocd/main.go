@@ -11,6 +11,8 @@
 //
 //	GET/POST /v1/query     one batch (?task=wordcount,sort&k=5 or JSON body)
 //	GET/POST /v1/batch     alias of /v1/query
+//	POST     /v1/append    append a document batch durably (-ingest-cap > 0)
+//	GET      /v1/ingest    live ingestion state (epoch, delta sizes, names)
 //	GET      /healthz      liveness
 //	GET      /metrics      Prometheus-style serving + device counters
 //	GET      /debug/engine shard, replica, planner, pool, and cache state
@@ -52,6 +54,10 @@ func run() error {
 	queue := fs.Int("queue", 0, "admission queue depth before shedding with 429 (0 = default)")
 	cache := fs.Int("cache", 0, "result cache entries (0 = default, negative disables)")
 	timeout := fs.Duration("timeout", 0, "per-request deadline (0 = default)")
+	ingestCap := fs.Int64("ingest-cap", 0, "durable append-log bytes per shard (0 disables /v1/append)")
+	compactDocs := fs.Int("compact-docs", 0, "compact a shard once its delta exceeds this many documents (0 = default)")
+	compactBytes := fs.Int64("compact-bytes", 0, "compact a shard once its delta exceeds this many bytes (0 = default)")
+	compactEvery := fs.Duration("compact-interval", 0, "background compaction poll cadence (0 = default)")
 	fs.Parse(os.Args[1:])
 	if fs.NArg() != 1 {
 		return fmt.Errorf("expected one archive path")
@@ -79,14 +85,25 @@ func run() error {
 		return err
 	}
 	eng, err := ntadoc.NewEngine(a, ntadoc.Options{
-		Medium:   m,
-		PoolPath: *pool,
-		Replicas: *replicas,
+		Medium:         m,
+		PoolPath:       *pool,
+		Replicas:       *replicas,
+		IngestCapacity: *ingestCap,
 	})
 	if err != nil {
 		return err
 	}
 	defer eng.Close()
+	if *ingestCap > 0 {
+		// Background compaction keeps query cost over base+delta bounded
+		// while appends keep landing; swaps never block queries.
+		stopCompact := eng.AutoCompact(ntadoc.CompactionPolicy{
+			MaxDeltaDocs:  *compactDocs,
+			MaxDeltaBytes: *compactBytes,
+			Interval:      *compactEvery,
+		})
+		defer stopCompact()
+	}
 
 	cfg := server.Config{
 		Engine:         eng,

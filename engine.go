@@ -1,11 +1,14 @@
 package ntadoc
 
 import (
+	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/text-analytics/ntadoc/internal/analytics"
 	"github.com/text-analytics/ntadoc/internal/core"
+	"github.com/text-analytics/ntadoc/internal/dict"
 	"github.com/text-analytics/ntadoc/internal/nvm"
 	"github.com/text-analytics/ntadoc/internal/tadoc"
 )
@@ -58,6 +61,12 @@ type Options struct {
 	// its primary and a read replica recovered from a follower image,
 	// shortening the slowest lane.  Requires Replicas >= 1.
 	ReplicaReads bool
+	// IngestCapacity reserves this many bytes of durable append-log space per
+	// shard (N-TADOC media only): the engine then accepts live Append calls,
+	// serving them from per-shard delta grammars without recompressing the
+	// base.  Zero disables ingestion; a full log returns ErrIngestFull until
+	// the corpus is recompressed.
+	IngestCapacity int64
 }
 
 // TermCount is a word with its frequency.
@@ -83,12 +92,39 @@ type Engine struct {
 	inner analytics.Engine
 	nt    *core.Engine        // non-nil on unsharded N-TADOC media
 	sh    *core.ShardedEngine // non-nil on sharded N-TADOC media
-	names []string
+
+	namesMu sync.RWMutex
+	names   []string // guarded by namesMu: global document index -> name
+
+	// appendMu serializes public Append calls: the novel-word window
+	// (dictionary growth since the last committed batch) spans tokenization
+	// and the core commit, so the two must not interleave.
+	appendMu       sync.Mutex
+	committedVocab int // guarded by appendMu: vocabulary covered by committed batches
 }
+
+// Sentinel ingestion errors, re-exported for errors.Is matching.
+var (
+	// ErrNoIngest reports an Append on an engine built without ingestion
+	// support (DRAM medium or Options.IngestCapacity == 0).
+	ErrNoIngest = core.ErrNoIngest
+	// ErrIngestFull reports an Append that does not fit the remaining
+	// durable log capacity; the corpus must be recompressed.
+	ErrIngestFull = core.ErrIngestFull
+	// ErrCompacting reports an Append rejected because a compaction swap is
+	// in progress; the append can simply be retried.
+	ErrCompacting = core.ErrCompacting
+)
 
 // NewEngine builds an engine for the archive.
 func NewEngine(a *Archive, opts Options) (*Engine, error) {
-	e := &Engine{a: a, names: a.DocumentNames()}
+	// An archive carrying unfolded appended documents (from a prior engine's
+	// Append calls) folds them first, so the new engine serves the full
+	// corpus.
+	if err := a.fold(); err != nil {
+		return nil, err
+	}
+	e := &Engine{a: a, names: a.DocumentNames(), committedVocab: a.d.Len()}
 	if opts.Medium == MediumDRAM {
 		// The DRAM baseline has no per-shard devices to parallelize over;
 		// it runs on the whole-corpus grammar view.
@@ -115,6 +151,7 @@ func NewEngine(a *Archive, opts Options) (*Engine, error) {
 		Path:        opts.PoolPath,
 		Persistence: persistence,
 		Sequences:   !opts.NoSequences,
+		IngestCap:   opts.IngestCapacity,
 	}
 	if a.shards != nil {
 		if opts.Replicas > 0 {
@@ -163,6 +200,157 @@ func (e *Engine) NumShards() int {
 		return e.sh.NumShards()
 	}
 	return 1
+}
+
+// Append tokenizes docs and appends them to the live corpus as one durable
+// batch.  The batch is written to the engine's append log (body first, then
+// an atomic header commit), so a crash at any point recovers to "batch fully
+// visible" or "batch absent" — never a torn state.  Appended documents are
+// served from per-shard delta grammars merged with base results at query
+// time; results are bit-identical to recompressing the whole corpus, and
+// concurrent queries are never blocked (each sees a consistent corpus cut).
+//
+// Requires an N-TADOC medium with Options.IngestCapacity > 0; otherwise
+// ErrNoIngest.  ErrCompacting means a compaction swap was in progress and
+// the append can simply be retried; ErrIngestFull means the log is
+// exhausted and the corpus must be recompressed.
+func (e *Engine) Append(docs []Document) error {
+	if e.nt == nil && e.sh == nil {
+		return fmt.Errorf("ntadoc: append: %w", ErrNoIngest)
+	}
+	if len(docs) == 0 {
+		return nil
+	}
+	e.appendMu.Lock()
+	defer e.appendMu.Unlock()
+	var tk dict.Tokenizer
+	ads := make([]core.AppendDoc, len(docs))
+	tokens := make([][]uint32, len(docs))
+	names := make([]string, len(docs))
+	for i, doc := range docs {
+		t := tk.EncodeString(e.a.d, doc.Text)
+		ads[i] = core.AppendDoc{Name: doc.Name, Tokens: t}
+		tokens[i], names[i] = t, doc.Name
+	}
+	// The batch's novel words are everything interned since the last
+	// committed batch — including leftovers from a failed attempt, which
+	// harmlessly ride along so recovery can always rebuild the dictionary.
+	vocab := e.a.d.Len()
+	novel := append([]string(nil), e.a.d.Words()[e.committedVocab:vocab]...)
+	var err error
+	if e.nt != nil {
+		err = e.nt.Append(ads, uint32(vocab), novel)
+	} else {
+		err = e.sh.Append(ads, uint32(vocab), novel)
+	}
+	if err != nil {
+		return err
+	}
+	e.committedVocab = vocab
+	e.namesMu.Lock()
+	e.names = append(e.names, names...)
+	e.namesMu.Unlock()
+	e.a.recordAppend(tokens, names)
+	return nil
+}
+
+// CorpusEpoch returns the engine's corpus epoch: it advances on every
+// committed append batch and every compaction, and serving layers key their
+// result caches by it.  Zero for engines without ingestion.
+func (e *Engine) CorpusEpoch() uint64 {
+	if e.nt != nil {
+		return e.nt.CorpusEpoch()
+	}
+	if e.sh != nil {
+		return e.sh.CorpusEpoch()
+	}
+	return 0
+}
+
+// IngestStats is the observable ingestion state of an engine.
+type IngestStats struct {
+	Batches       uint64 // committed append batches
+	AppendedDocs  uint64 // appended documents (including compacted ones)
+	LogBytes      int64  // committed append-log bytes
+	LogCapacity   int64  // append-log capacity
+	DeltaDocs     int    // documents in the live (uncompacted) deltas
+	DeltaSymbols  int64  // live delta grammar body symbols
+	CompactedDocs uint32 // appended documents folded into the serving base
+	Compactions   uint64 // compactions performed
+}
+
+// IngestStats reports the engine's ingestion state (zero value for engines
+// without ingestion).
+func (e *Engine) IngestStats() IngestStats {
+	var st core.IngestStats
+	switch {
+	case e.nt != nil:
+		st = e.nt.IngestStats()
+	case e.sh != nil:
+		st = e.sh.IngestStats()
+	}
+	return IngestStats{
+		Batches:       st.Batches,
+		AppendedDocs:  st.Docs,
+		LogBytes:      st.LogBytes,
+		LogCapacity:   st.LogCap,
+		DeltaDocs:     st.DeltaDocs,
+		DeltaSymbols:  st.DeltaSymbols,
+		CompactedDocs: st.CompactedDocs,
+		Compactions:   st.Compactions,
+	}
+}
+
+// CompactionPolicy sets the thresholds at which AutoCompact folds live
+// delta grammars back into the serving base.  Zero fields use defaults.
+type CompactionPolicy struct {
+	// MaxDeltaDocs triggers compaction once a shard's live delta holds more
+	// than this many appended documents.
+	MaxDeltaDocs int
+	// MaxDeltaBytes triggers compaction once a shard's live delta grammar
+	// exceeds this many bytes of body symbols.
+	MaxDeltaBytes int64
+	// Interval is the background worker's polling cadence.
+	Interval time.Duration
+}
+
+// AutoCompact starts the background compaction worker: it polls the
+// engine's delta sizes on the policy's cadence and folds deltas into the
+// serving base whenever thresholds are crossed, keeping query cost over
+// base+delta bounded while appends continue.  Compaction swaps never block
+// queries (in-flight queries finish on their pinned snapshot).  The
+// returned stop function shuts the worker down; it is a no-op for engines
+// without ingestion.
+func (e *Engine) AutoCompact(p CompactionPolicy) (stop func()) {
+	var target core.Compactable
+	switch {
+	case e.nt != nil:
+		target = e.nt
+	case e.sh != nil:
+		target = e.sh
+	default:
+		return func() {}
+	}
+	c := core.StartCompactor(target, core.CompactionPolicy{
+		MaxDeltaDocs:  p.MaxDeltaDocs,
+		MaxDeltaBytes: p.MaxDeltaBytes,
+		Interval:      p.Interval,
+	})
+	return c.Stop
+}
+
+// Compact folds all live delta grammars into the serving base immediately.
+func (e *Engine) Compact() error {
+	force := core.CompactionPolicy{MaxDeltaDocs: -1, MaxDeltaBytes: -1}
+	switch {
+	case e.nt != nil:
+		_, err := e.nt.CompactIfNeeded(force)
+		return err
+	case e.sh != nil:
+		_, err := e.sh.CompactIfNeeded(force)
+		return err
+	}
+	return fmt.Errorf("ntadoc: compact: %w", ErrNoIngest)
 }
 
 // WordCount returns the total occurrences of each word across the archive.

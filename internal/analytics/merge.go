@@ -57,6 +57,50 @@ func mergeTypeError(name string, result any) error {
 	return fmt.Errorf("analytics: %s shard result has type %T", name, result)
 }
 
+// MergeUnit is one independently-executed slice of the corpus to fold back:
+// a shard's base engine, or a delta engine holding appended documents.
+// When DocMap is nil the unit's documents are the contiguous global range
+// starting at DocBase; otherwise unit-local document i is global document
+// DocMap[i] — the shape online ingestion produces, where a shard's delta
+// documents interleave globally with other shards' in append order.
+type MergeUnit struct {
+	Result  any
+	DocBase uint32
+	DocMap  []uint32
+}
+
+// MappedMergingFold is the docmap-aware merge capability.  All registered folds
+// implement it: global-scope folds ignore the mapping, per-file folds place
+// each unit-local document at its mapped global index.
+type MappedMergingFold interface {
+	MergingFold
+	MergeMapped(result any, docMap []uint32) error
+}
+
+// MergeUnits folds unit results of op back into one corpus-wide result.
+// Units must arrive in ascending order of their first global document; env
+// must describe the whole corpus (NumFiles spans base and appended
+// documents).
+func MergeUnits(op Op, env Env, units []MergeUnit) (any, error) {
+	fold := op.NewFold(env)
+	mf, ok := fold.(MappedMergingFold)
+	if !ok {
+		return nil, fmt.Errorf("analytics: op %s fold is not mergeable", op.Name())
+	}
+	for i, u := range units {
+		var err error
+		if u.DocMap == nil {
+			err = mf.MergeShard(u.Result, u.DocBase)
+		} else {
+			err = mf.MergeMapped(u.Result, u.DocMap)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("analytics: merge %s unit %d: %w", op.Name(), i, err)
+		}
+	}
+	return mf.Finish()
+}
+
 // MergeShard sums per-word counters key-wise.
 func (f *wordCountFold) MergeShard(result any, _ uint32) error {
 	in, ok := result.(map[uint32]uint64)
@@ -155,12 +199,90 @@ func (f *rankedIndexFold) MergeShard(result any, docBase uint32) error {
 	return nil
 }
 
-// Every registered op's fold must be mergeable.
+// MergeMapped: global-scope folds ignore document indices entirely.
+func (f *wordCountFold) MergeMapped(result any, _ []uint32) error {
+	return f.MergeShard(result, 0)
+}
+
+// MergeMapped: global-scope folds ignore document indices entirely.
+func (f *sortFold) MergeMapped(result any, _ []uint32) error {
+	return f.MergeShard(result, 0)
+}
+
+// MergeMapped places each unit-local vector at its mapped global index.
+func (f *termVectorsFold) MergeMapped(result any, docMap []uint32) error {
+	in, ok := result.([][]WordFreq)
+	if !ok {
+		return mergeTypeError("termvectors", result)
+	}
+	if len(in) != len(docMap) {
+		return fmt.Errorf("analytics: termvectors unit has %d documents, map %d", len(in), len(docMap))
+	}
+	f.env.Charge(int64(len(in)), metrics.CostMergeEntry)
+	for i, vec := range in {
+		if int(docMap[i]) >= len(f.out) {
+			return fmt.Errorf("analytics: termvectors mapped document %d exceeds %d documents",
+				docMap[i], len(f.out))
+		}
+		f.out[docMap[i]] = vec
+	}
+	return nil
+}
+
+// MergeMapped concatenates posting lists with documents remapped to their
+// global indices; Finish re-sorts each list into canonical document order.
+func (f *invertedIndexFold) MergeMapped(result any, docMap []uint32) error {
+	in, ok := result.(map[uint32][]uint32)
+	if !ok {
+		return mergeTypeError("invertedindex", result)
+	}
+	//ntalint:ignore determcheck keyed appends commute across keys; the only order-dependence is which invariant-violation error surfaces first, and any violation fails the whole merge.
+	for w, docs := range in {
+		f.env.Charge(int64(len(docs)), metrics.CostMergeEntry)
+		for _, doc := range docs {
+			if int(doc) >= len(docMap) {
+				return fmt.Errorf("analytics: invertedindex unit document %d outside map of %d", doc, len(docMap))
+			}
+			f.out[w] = append(f.out[w], docMap[doc])
+		}
+	}
+	return nil
+}
+
+// MergeMapped: global-scope folds ignore document indices entirely.
+func (f *seqCountFold) MergeMapped(result any, _ []uint32) error {
+	return f.MergeShard(result, 0)
+}
+
+// MergeMapped concatenates ranked postings with documents remapped to their
+// global indices; Finish re-ranks each merged list.
+func (f *rankedIndexFold) MergeMapped(result any, docMap []uint32) error {
+	in, ok := result.(map[Seq][]DocFreq)
+	if !ok {
+		return mergeTypeError("rankedindex", result)
+	}
+	if f.merged == nil {
+		f.merged = make(map[Seq][]DocFreq, len(in))
+	}
+	//ntalint:ignore determcheck keyed appends commute across keys; the only order-dependence is which invariant-violation error surfaces first, and any violation fails the whole merge.
+	for q, postings := range in {
+		f.env.Charge(int64(len(postings)), metrics.CostMergeEntry)
+		for _, p := range postings {
+			if int(p.Doc) >= len(docMap) {
+				return fmt.Errorf("analytics: rankedindex unit document %d outside map of %d", p.Doc, len(docMap))
+			}
+			f.merged[q] = append(f.merged[q], DocFreq{Doc: docMap[p.Doc], Freq: p.Freq})
+		}
+	}
+	return nil
+}
+
+// Every registered op's fold must be mergeable, with and without a docmap.
 var (
-	_ MergingFold = (*wordCountFold)(nil)
-	_ MergingFold = (*sortFold)(nil)
-	_ MergingFold = (*termVectorsFold)(nil)
-	_ MergingFold = (*invertedIndexFold)(nil)
-	_ MergingFold = (*seqCountFold)(nil)
-	_ MergingFold = (*rankedIndexFold)(nil)
+	_ MappedMergingFold = (*wordCountFold)(nil)
+	_ MappedMergingFold = (*sortFold)(nil)
+	_ MappedMergingFold = (*termVectorsFold)(nil)
+	_ MappedMergingFold = (*invertedIndexFold)(nil)
+	_ MappedMergingFold = (*seqCountFold)(nil)
+	_ MappedMergingFold = (*rankedIndexFold)(nil)
 )

@@ -51,6 +51,8 @@ type Engine struct {
 
 	oplog *opLog // non-nil in OpLevel mode
 
+	ingest *ingestState // non-nil when Options.IngestCap > 0
+
 	// travTables registers the bounded tables of the current traversal by
 	// pool offset, for operation-level log compaction and replay;
 	// travDirty marks those mutated since the last log compaction.
@@ -319,7 +321,10 @@ func PoolEstimate(g *cfg.Grammar, opts Options) (int64, error) {
 // the largest traversal working set, with slack.
 func estimatePoolSize(g *cfg.Grammar, p *prepState, opts Options) int64 {
 	nRules := int64(len(g.Rules))
-	size := int64(192) + opts.OpLogCap // pool header + tx log
+	size := int64(pmem.HeaderSize) + opts.OpLogCap // pool header + tx log
+	if opts.IngestCap > 0 {
+		size += ingestHeaderSize + opts.IngestCap
+	}
 	size += nRules * metaSize
 	for _, body := range g.Rules {
 		size += int64(len(body))*8 + 16 // pruned pairs or raw symbols
@@ -462,6 +467,21 @@ func (e *Engine) initialize(g *cfg.Grammar, p *prepState) error {
 			return err
 		}
 		pool.SetRoot(rootOpLog, logAcc.Base())
+	}
+
+	// Append-log region for online ingestion, reserved below the
+	// initialization watermark so traversals — which truncate the pool back
+	// to initTop — can never reclaim it.  Only the 64-byte region header
+	// needs a defined initial state: records are CRC-framed and invisible
+	// until the header's committed watermark covers them.
+	if e.opts.IngestCap > 0 {
+		ingAcc, err := pool.Alloc(ingestHeaderSize+e.opts.IngestCap, 64)
+		if err != nil {
+			return err
+		}
+		ingAcc.WriteBytes(0, make([]byte, ingestHeaderSize))
+		pool.SetRoot(rootIngest, ingAcc.Base())
+		e.ingest = newIngestState(e, ingAcc, g)
 	}
 
 	e.initTop = pool.Allocated()
@@ -760,9 +780,15 @@ func (e *Engine) NVMBytes() int64 { return e.pool.Allocated() }
 // savings (§VI-C).
 func (e *Engine) DRAMBytes() int64 { return e.dramExtra + 4096 }
 
-// Close releases the device, recycling its simulation buffers.  The engine
-// must not be used after Close.
-func (e *Engine) Close() error { return e.dev.Discard() }
+// Close releases the device, recycling its simulation buffers — plus, for
+// an appendable engine, the delta-view and compacted serving engines hanging
+// off the ingest state.  The engine must not be used after Close.
+func (e *Engine) Close() error {
+	if e.ingest != nil {
+		e.ingest.close()
+	}
+	return e.dev.Discard()
+}
 
 // resolveStrategy applies Auto selection through the cost-based planner.
 // The inputs (files, rules, body symbols, merge work) are pool-durable, so a recovered

@@ -313,13 +313,29 @@ func (x *exec) runPlan(ops []analytics.Op) (results []any, resultOffs []int64, e
 	return results, resultOffs, nil
 }
 
-// runOps is the engine task path: one traversal phase executing ops fused.
-// The last op's task and result table are what the phase commit records, the
-// same durable state a sequential run of the batch would leave.
+// runOps is the engine task path.  On an appendable engine it serves the
+// merged corpus: the batch runs against the compacted serving tail and the
+// pinned delta view, and the unit results merge bit-identically to a
+// from-scratch rebuild over the appended corpus.  Shard engines inside a
+// sharded set (ingest.external) serve base-only results — the coordinator
+// merges deltas globally with document maps.
 func (e *Engine) runOps(what string, ops []analytics.Op) ([]any, error) {
 	if len(ops) == 0 {
 		return nil, nil
 	}
+	if st := e.ingest; st != nil && !st.external {
+		return st.serveMerged(ops, e.meter, func(t *Engine) ([]any, error) {
+			return t.runOpsLocal(what, ops)
+		})
+	}
+	return e.runOpsLocal(what, ops)
+}
+
+// runOpsLocal executes one traversal phase over this engine's own pool,
+// ignoring any serving chain: ops execute fused, and the last op's task and
+// result table are what the phase commit records — the same durable state a
+// sequential run of the batch would leave.
+func (e *Engine) runOpsLocal(what string, ops []analytics.Op) ([]any, error) {
 	for _, op := range ops {
 		if op.Keys() == analytics.KeySequences && !e.seqEnabled {
 			return nil, ErrNoSequences

@@ -23,6 +23,7 @@ const (
 	rootDistinct  = 13 // distinct word IDs across all rule bodies
 	rootBodySyms  = 14 // total rule-body symbols (a traversal-planner input)
 	rootMergeWork = 15 // bottom-up list-merge entries (a traversal-planner input)
+	rootIngest    = 16 // append-log region offset (0 when ingestion is disabled)
 )
 
 // Rule metadata record layout (§IV-B: "the position of subrules and words,

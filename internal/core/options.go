@@ -177,6 +177,16 @@ type Options struct {
 	// destroying the pool's locality (the naive-port layout).
 	Scatter bool
 
+	// IngestCap reserves this many bytes of pool space for the durable
+	// append log, enabling Append on the engine (0 disables ingestion; the
+	// figure harnesses leave it 0 so modeled pool layouts are unchanged).
+	// The log is monotonic: once the region fills, Append returns
+	// ErrIngestFull until the corpus is recompressed.
+	IngestCap int64
+	// Compaction configures the lag/size thresholds at which a background
+	// Compactor re-merges the delta grammar into the base.  Zero value uses
+	// DefaultCompactionPolicy when a Compactor is started.
+	Compaction CompactionPolicy
 	// PoolSlack is the extra pool capacity fraction beyond the estimate
 	// (default 0.5; NoBounds runs need headroom for reconstruction).
 	PoolSlack float64
@@ -210,4 +220,19 @@ var (
 	// ErrNoSequences reports a sequence task on an engine initialized
 	// without sequence preprocessing.
 	ErrNoSequences = errors.New("core: engine initialized without sequence support")
+	// ErrNoIngest reports an Append on an engine built without an ingest
+	// region (Options.IngestCap == 0).
+	ErrNoIngest = errors.New("core: engine built without ingestion support (IngestCap == 0)")
+	// ErrIngestFull reports an Append that does not fit the remaining
+	// append-log capacity.  The corpus must be recompressed (or the engine
+	// rebuilt with a larger IngestCap).
+	ErrIngestFull = errors.New("core: append log full; recompress the corpus")
+	// ErrCompacting reports an Append rejected because a compaction swap is
+	// in progress; the caller should retry shortly (the server maps this to
+	// 503).
+	ErrCompacting = errors.New("core: compaction in progress; retry append")
+	// ErrNoBaseGrammar reports a Compact on an engine that no longer holds
+	// its base grammar in DRAM (engines recovered with Reopen): queries and
+	// appends still work, but re-merging requires the compressed input.
+	ErrNoBaseGrammar = errors.New("core: base grammar unavailable (recovered engine); compaction needs the compressed input")
 )

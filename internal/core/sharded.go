@@ -1,9 +1,11 @@
 package core
 
 import (
+	"cmp"
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 
 	"github.com/text-analytics/ntadoc/internal/analytics"
@@ -67,6 +69,15 @@ type ShardedEngine struct {
 	mu        sync.Mutex
 	lastTrav  metrics.Span // guarded by mu
 	lastTails []int64      // guarded by mu
+
+	// Online-ingestion coordination: appends route whole batches to the
+	// least-loaded shard's durable append log, and documents are numbered
+	// globally in append order — so a shard's delta documents interleave
+	// globally with other shards', and the gather path merges them through
+	// per-unit document maps (analytics.MergeUnits).
+	ingestMu  sync.Mutex
+	deltaMaps [][]uint32 // guarded by ingestMu: global doc IDs per shard, append order
+	appended  uint32     // guarded by ingestMu: total appended documents
 }
 
 // ErrShardMismatch reports a sharded device set whose pool stamps do not
@@ -190,6 +201,14 @@ func NewSharded(gs []*cfg.Grammar, d *dict.Dictionary, opts Options) (*ShardedEn
 			}
 		}
 		return nil, errEngine("new sharded", err)
+	}
+	se.deltaMaps = make([][]uint32, len(se.shards))
+	for _, sh := range se.shards {
+		if sh.ingest != nil {
+			// The coordinator owns global delta merging; shard engines serve
+			// base-only results.
+			sh.ingest.external = true
+		}
 	}
 	spans := make([]metrics.Span, len(se.shards))
 	for i, sh := range se.shards {
@@ -329,8 +348,273 @@ func ReopenSharded(devs []*nvm.SimDevice, d *dict.Dictionary, opts Options) (*Sh
 			return nil, infos, errEngine("reopen sharded", err)
 		}
 	}
+	if err := se.recoverIngestMaps(); err != nil {
+		return nil, infos, errEngine("reopen sharded", err)
+	}
 	return se, infos, nil
 }
+
+// recoverIngestMaps rebuilds the coordinator's global ingestion state after
+// a sharded reopen: every shard's recovered batch history is collected,
+// ordered globally (batches carry the global index of their first document),
+// the shared dictionary's appended vocabulary is restored in that global
+// order, and the per-shard document maps are rebuilt.
+func (se *ShardedEngine) recoverIngestMaps() error {
+	se.ingestMu.Lock()
+	defer se.ingestMu.Unlock()
+	se.deltaMaps = make([][]uint32, len(se.shards))
+	type owned struct {
+		b     IngestBatch
+		shard int
+	}
+	var all []owned
+	for i, sh := range se.shards {
+		if sh.ingest == nil {
+			continue
+		}
+		sh.ingest.external = true
+		for _, b := range sh.IngestBatches() {
+			all = append(all, owned{b: b, shard: i})
+		}
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	slices.SortFunc(all, func(a, b owned) int { return cmp.Compare(a.b.GlobalBase, b.b.GlobalBase) })
+	batches := make([]IngestBatch, len(all))
+	for i, o := range all {
+		batches[i] = o.b
+	}
+	if err := restoreVocabulary(se.d, batches); err != nil {
+		return fmt.Errorf("%w: %v", ErrNeedsReload, err)
+	}
+	for _, o := range all {
+		if o.b.GlobalBase != se.nfiles+se.appended {
+			return fmt.Errorf("%w: append batch at global %d, expected %d",
+				ErrNeedsReload, o.b.GlobalBase, se.nfiles+se.appended)
+		}
+		for k := range o.b.Docs {
+			se.deltaMaps[o.shard] = append(se.deltaMaps[o.shard], o.b.GlobalBase+uint32(k))
+		}
+		se.appended += uint32(len(o.b.Docs))
+	}
+	return nil
+}
+
+// shardPin is one shard's pinned serving cut: the serving tail at pin time,
+// a pinned delta view (nil when the shard had no live delta documents), and
+// the document maps placing the tail's and the view's documents at their
+// global corpus positions.  baseMap is nil while the tail still serves
+// exactly the build-time base — the contiguous DocBase offset suffices —
+// and becomes explicit once compaction folds appended documents (globally
+// interleaved with other shards') into the tail.
+type shardPin struct {
+	tail     *Engine
+	view     *deltaView
+	baseMap  []uint32
+	deltaMap []uint32
+}
+
+// ingestPins is the consistent corpus cut one scatter-gather observes: every
+// shard's serving state pinned under ingestMu, so the merged result reflects
+// exactly the appends committed before the batch started, no matter how many
+// appends and compactions land while it runs.
+type ingestPins struct {
+	mu     sync.Mutex // guards pins: failover lanes repin concurrently
+	pins   []shardPin
+	nfiles int // global document count at pin time
+}
+
+// pinIngest pins every shard's serving state for one scatter-gather, or
+// returns nil when no shard is appendable — the legacy merge path then runs
+// unchanged.  The caller must release the pins.
+func (se *ShardedEngine) pinIngest() *ingestPins {
+	se.ingestMu.Lock()
+	defer se.ingestMu.Unlock()
+	any := false
+	for _, sh := range se.shards {
+		if sh.ingest != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	p := &ingestPins{pins: make([]shardPin, len(se.shards)), nfiles: int(se.nfiles + se.appended)}
+	for i := range se.shards {
+		p.pins[i] = se.pinShard(i)
+	}
+	return p
+}
+
+// pinShard pins shard i's current serving cut.  Caller holds ingestMu, so
+// no append is in flight and every committed delta document already has its
+// entry in deltaMaps[i]; compactions may still race, which pinServing's
+// retry protocol absorbs.
+func (se *ShardedEngine) pinShard(i int) shardPin {
+	sh := se.shards[i]
+	st := sh.ingest
+	if st == nil {
+		return shardPin{}
+	}
+	t, v := st.pinServing()
+	pin := shardPin{tail: t, view: v}
+	compacted := int(t.numFiles) - int(sh.numFiles)
+	if compacted > 0 {
+		bm := make([]uint32, 0, int(sh.numFiles)+compacted)
+		for d := uint32(0); d < sh.numFiles; d++ {
+			bm = append(bm, se.bases[i]+d)
+		}
+		bm = append(bm, se.deltaMaps[i][:compacted]...)
+		pin.baseMap = bm
+	}
+	if v != nil && v.eng != nil && v.docs > 0 {
+		end := compacted + int(v.docs)
+		if end > len(se.deltaMaps[i]) {
+			end = len(se.deltaMaps[i]) // view outran the maps: lossy failover
+		}
+		pin.deltaMap = append([]uint32(nil), se.deltaMaps[i][compacted:end]...)
+	} else if v != nil {
+		v.release()
+		pin.view = nil
+	}
+	return pin
+}
+
+// serving returns shard i's pinned serving tail, nil when the shard is not
+// pinned (or pins is nil entirely — the non-appendable path).
+func (p *ingestPins) serving(i int) *Engine {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pins[i].tail
+}
+
+// repin refreshes shard i's pin after a failover promoted a new primary: the
+// recovered engine replayed its durable append log into a fresh delta view,
+// with no compaction chain, so the shard's cut is re-derived from scratch.
+func (p *ingestPins) repin(se *ShardedEngine, i int) {
+	if p == nil {
+		return
+	}
+	se.ingestMu.Lock()
+	pin := se.pinShard(i)
+	se.ingestMu.Unlock()
+	p.mu.Lock()
+	old := p.pins[i].view
+	p.pins[i] = pin
+	p.mu.Unlock()
+	old.release()
+}
+
+// release drops every pinned view.
+func (p *ingestPins) release() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	pins := p.pins
+	p.pins = nil
+	p.mu.Unlock()
+	for i := range pins {
+		pins[i].view.release()
+	}
+}
+
+// Append appends a batch of documents to the sharded corpus: the whole batch
+// routes to the least-loaded shard's durable append log (a batch never spans
+// shards), and its documents take the next global positions in append order.
+// vocab and novel follow the same contract as Engine.Append: vocab is the
+// shared dictionary's size after interning the batch, novel its newly
+// interned words in order.
+func (se *ShardedEngine) Append(docs []AppendDoc, vocab uint32, novel []string) error {
+	if len(docs) == 0 {
+		return nil
+	}
+	se.ingestMu.Lock()
+	defer se.ingestMu.Unlock()
+	best := -1
+	for i := range se.shards {
+		if se.shards[i].ingest == nil {
+			continue
+		}
+		if best < 0 || len(se.deltaMaps[i]) < len(se.deltaMaps[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return ErrNoIngest
+	}
+	base := se.nfiles + se.appended
+	if err := se.shards[best].AppendAt(docs, vocab, novel, base); err != nil {
+		return err
+	}
+	for k := range docs {
+		se.deltaMaps[best] = append(se.deltaMaps[best], base+uint32(k))
+	}
+	se.appended += uint32(len(docs))
+	return nil
+}
+
+// CorpusEpoch sums the shard epochs: it advances on every committed append
+// and every shard compaction, and serving layers key caches by it.  Zero for
+// engine sets without ingestion.
+func (se *ShardedEngine) CorpusEpoch() uint64 {
+	var sum uint64
+	for _, sh := range se.shards {
+		sum += sh.CorpusEpoch()
+	}
+	return sum
+}
+
+// IngestStats aggregates the shards' ingestion state.
+func (se *ShardedEngine) IngestStats() IngestStats {
+	var agg IngestStats
+	for _, sh := range se.shards {
+		s := sh.IngestStats()
+		agg.Batches += s.Batches
+		agg.Docs += s.Docs
+		agg.LogBytes += s.LogBytes
+		agg.LogCap += s.LogCap
+		agg.DeltaDocs += s.DeltaDocs
+		agg.DeltaRules += s.DeltaRules
+		agg.DeltaReused += s.DeltaReused
+		agg.DeltaSymbols += s.DeltaSymbols
+		agg.CompactedDocs += s.CompactedDocs
+		agg.Compactions += s.Compactions
+	}
+	return agg
+}
+
+// CompactIfNeeded re-merges every shard's delta whose size exceeds the
+// policy, one shard at a time; a shard already compacting is skipped.  It
+// reports whether any shard compacted.
+func (se *ShardedEngine) CompactIfNeeded(p CompactionPolicy) (bool, error) {
+	p = p.withDefaults()
+	did := false
+	for _, sh := range se.shards {
+		st := sh.ingest
+		if st == nil {
+			continue
+		}
+		if !p.exceeded(sh.IngestStats()) {
+			continue
+		}
+		if err := st.compact(); err != nil {
+			if errors.Is(err, ErrCompacting) {
+				continue
+			}
+			return did, err
+		}
+		did = true
+	}
+	return did, nil
+}
+
+var _ Compactable = (*ShardedEngine)(nil)
 
 // shardedEnv is the Env the coordinator offers merging folds: whole-corpus
 // shape, coordinator-side CPU charging, no sequence-key resolution (shard
@@ -431,6 +715,9 @@ func (se *ShardedEngine) ensureReplica(i int) *Session {
 		_ = clone.Discard()
 		return nil
 	}
+	if e.ingest != nil {
+		e.ingest.external = true
+	}
 	se.replicas[i] = e
 	se.replicaSess[i] = e.NewSession()
 	return se.replicaSess[i]
@@ -445,10 +732,20 @@ func (se *ShardedEngine) ensureReplica(i int) *Session {
 // engine; errors that survive failover (or occur without one) surface as
 // ErrShardFailed.  The schedule and per-unit spans are returned so callers
 // can aggregate modeled time the same way the work actually ran.
+//
+// On an appendable engine set, the scatter opens by pinning every shard's
+// serving state — the compacted serving tail, the delta view, and a snapshot
+// of the global document maps — so the whole batch observes one consistent
+// corpus cut even while appends and compactions proceed underneath it.  Base
+// units run against the pinned tails, delta views run through transient
+// query sessions, and the gather merges everything with analytics.MergeUnits
+// under per-unit document maps.
 func (se *ShardedEngine) scatterGather(ops []analytics.Op, units []unit,
-	run func(u unit, ops []analytics.Op) ([]any, metrics.Span, error),
+	run func(u unit, ops []analytics.Op, serving *Engine) ([]any, metrics.Span, error),
 	failover func(u unit, cause error) error,
 	meter *metrics.Meter) ([]any, [][]int, []metrics.Span, error) {
+	pins := se.pinIngest()
+	defer pins.release()
 	costs := make([]int64, len(units))
 	for ui, u := range units {
 		costs[ui] = se.shards[u.shard].planCost(len(u.opIdx))
@@ -468,7 +765,7 @@ func (se *ShardedEngine) scatterGather(ops []analytics.Op, units []unit,
 				for k, j := range u.opIdx {
 					sub[k] = ops[j]
 				}
-				out, span, err := run(u, sub)
+				out, span, err := run(u, sub, pins.serving(u.shard))
 				for err != nil && failover != nil && isDeviceFailure(err) {
 					// Retire the lane's failed shard and re-dispatch its ops
 					// against the recovered follower.  The loop continues as
@@ -478,7 +775,8 @@ func (se *ShardedEngine) scatterGather(ops []analytics.Op, units []unit,
 						err = ferr
 						break
 					}
-					out, span, err = run(u, sub)
+					pins.repin(se, u.shard)
+					out, span, err = run(u, sub, pins.serving(u.shard))
 				}
 				if err != nil {
 					errs[ui] = wrapShard(u.shard, err)
@@ -508,12 +806,49 @@ func (se *ShardedEngine) scatterGather(ops []analytics.Op, units []unit,
 		}
 	}
 	results := make([]any, len(ops))
-	for j, op := range ops {
-		per := make([]any, len(se.shards))
-		for i := range se.shards {
-			per[i] = shardOut[i][j]
+	if pins == nil {
+		for j, op := range ops {
+			per := make([]any, len(se.shards))
+			for i := range se.shards {
+				per[i] = shardOut[i][j]
+			}
+			r, err := analytics.MergeShardResults(op, env, per, se.bases)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			results[j] = r
 		}
-		r, err := analytics.MergeShardResults(op, env, per, se.bases)
+		return results, lanes, spans, nil
+	}
+	// Appendable path: run the pinned delta views (whole batch each — deltas
+	// are small next to the base traversals), then merge base and delta
+	// units under their document maps.
+	env.nfiles = pins.nfiles
+	deltaOut := make([][]any, len(se.shards))
+	for i := range pins.pins {
+		if v := pins.pins[i].view; v != nil {
+			res, err := v.runDeltaOps(ops)
+			if err != nil {
+				return nil, nil, nil, wrapShard(i, err)
+			}
+			deltaOut[i] = res
+		}
+	}
+	for j, op := range ops {
+		mu := make([]analytics.MergeUnit, 0, 2*len(se.shards))
+		for i := range se.shards {
+			if bm := pins.pins[i].baseMap; bm != nil {
+				mu = append(mu, analytics.MergeUnit{Result: shardOut[i][j], DocMap: bm})
+			} else {
+				mu = append(mu, analytics.MergeUnit{Result: shardOut[i][j], DocBase: se.bases[i]})
+			}
+		}
+		for i := range pins.pins {
+			if pins.pins[i].view != nil {
+				mu = append(mu, analytics.MergeUnit{Result: deltaOut[i][j], DocMap: pins.pins[i].deltaMap})
+			}
+		}
+		r, err := analytics.MergeUnits(op, env, mu)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -597,6 +932,11 @@ func (se *ShardedEngine) failoverShard(i int, cause error) error {
 		return &ErrShardFailed{Shard: i, Cause: errors.Join(cause, rerr)}
 	}
 	sp.Stop()
+	if ne.ingest != nil {
+		// The promoted follower replayed the shard's durable append log into
+		// a fresh delta; the coordinator keeps merging it globally.
+		ne.ingest.external = true
+	}
 	se.shards[i] = ne
 	se.retiredEng = append(se.retiredEng, old)
 	se.retiredReps = append(se.retiredReps, rep)
@@ -639,8 +979,11 @@ func (se *ShardedEngine) RunOps(ops []analytics.Op) ([]any, error) {
 	cpu0 := se.meter.Nanos()
 	units := se.planUnits(len(ops))
 	results, lanes, spans, err := se.scatterGather(ops, units,
-		func(u unit, sub []analytics.Op) ([]any, metrics.Span, error) {
-			if u.replica {
+		func(u unit, sub []analytics.Op, serving *Engine) ([]any, metrics.Span, error) {
+			// Replica read-splitting serves the shard's base image; once the
+			// shard is appendable its serving tail may have compacted past
+			// that image, so pinned shards always read the pinned tail.
+			if u.replica && serving == nil {
 				sess := se.replicaSess[u.shard]
 				sp := metrics.Start(se.replicas[u.shard].Device(), sess.Meter())
 				res, err := sess.RunOps(sub)
@@ -649,7 +992,10 @@ func (se *ShardedEngine) RunOps(ops []analytics.Op) ([]any, error) {
 				}
 				return res, *sp.Stop(), nil
 			}
-			sh := se.shards[u.shard] // re-read: failover may have swapped it
+			sh := serving
+			if sh == nil {
+				sh = se.shards[u.shard] // re-read: failover may have swapped it
+			}
 			res, err := sh.RunOps(sub)
 			if err != nil {
 				return nil, metrics.Span{}, err
@@ -783,8 +1129,15 @@ func (ss *ShardedSession) runOps(ctx context.Context, ops []analytics.Op) ([]any
 	}
 	units := plainUnits(len(ss.sessions), len(ops))
 	results, _, _, err := ss.se.scatterGather(ops, units,
-		func(u unit, sub []analytics.Op) ([]any, metrics.Span, error) {
-			res, err := ss.sessions[u.shard].runOps(ctx, sub)
+		func(u unit, sub []analytics.Op, serving *Engine) ([]any, metrics.Span, error) {
+			sess := ss.sessions[u.shard]
+			if serving != nil && serving != sess.e {
+				// The shard's serving tail was promoted past the engine this
+				// session was opened on; a transient session over the pinned
+				// tail observes the compacted corpus the document maps expect.
+				sess = serving.NewSession()
+			}
+			res, err := sess.runOps(ctx, sub)
 			return res, metrics.Span{}, err
 		}, nil, &ss.meter)
 	return results, err

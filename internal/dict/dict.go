@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sync"
 )
 
 // ErrCorrupt reports a dictionary that fails deserialization checks.
@@ -19,9 +20,16 @@ var ErrCorrupt = errors.New("dict: corrupt dictionary")
 
 // Dictionary maps words to dense IDs and back.  IDs are assigned in first-
 // appearance order starting at zero.  The zero value is ready to use.
+//
+// A Dictionary is safe for concurrent use: online ingestion interns novel
+// words while query sessions convert result IDs back to words, so the two
+// directions synchronize on one RWMutex.  IDs are stable once assigned —
+// readers that captured an ID before an Intern still resolve it to the same
+// word after.
 type Dictionary struct {
-	words []string
-	index map[string]uint32
+	mu    sync.RWMutex
+	words []string          // guarded by mu
+	index map[string]uint32 // guarded by mu
 }
 
 // New returns an empty dictionary.
@@ -30,10 +38,16 @@ func New() *Dictionary {
 }
 
 // Len returns the number of distinct words (the vocabulary size).
-func (d *Dictionary) Len() int { return len(d.words) }
+func (d *Dictionary) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.words)
+}
 
 // Intern returns the ID for word, assigning the next free ID on first sight.
 func (d *Dictionary) Intern(word string) uint32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.index == nil {
 		d.index = make(map[string]uint32)
 	}
@@ -48,6 +62,8 @@ func (d *Dictionary) Intern(word string) uint32 {
 
 // Lookup returns the ID for word without interning.
 func (d *Dictionary) Lookup(word string) (uint32, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	id, ok := d.index[word]
 	return id, ok
 }
@@ -55,19 +71,27 @@ func (d *Dictionary) Lookup(word string) (uint32, bool) {
 // Word returns the word for id.  It panics on an unknown ID, which indicates
 // a corrupted grammar rather than a recoverable condition.
 func (d *Dictionary) Word(id uint32) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if int(id) >= len(d.words) {
 		panic(fmt.Sprintf("dict: unknown word id %d (vocabulary %d)", id, len(d.words)))
 	}
 	return d.words[id]
 }
 
-// Words returns the vocabulary in ID order.  The returned slice is shared;
-// callers must not modify it.
-func (d *Dictionary) Words() []string { return d.words }
+// Words returns the vocabulary in ID order.  IDs are stable, so the returned
+// snapshot's prefix never changes; callers must not modify it.
+func (d *Dictionary) Words() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.words
+}
 
 // WriteTo serializes the dictionary: header, word count, length-prefixed
 // words, trailing CRC of everything before it.
 func (d *Dictionary) WriteTo(w io.Writer) (int64, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	crc := crc32.NewIEEE()
 	bw := bufio.NewWriter(io.MultiWriter(w, crc))
 	var n int64
@@ -149,16 +173,20 @@ func (d *Dictionary) ReadFrom(r io.Reader) (int64, error) {
 		return cr.n, fmt.Errorf("%w: crc: %v", ErrCorrupt, err)
 	}
 	tmp := &Dictionary{words: words, index: index}
-	if got := binary.LittleEndian.Uint32(crcBuf[:]); got != tmp.checksum() {
+	if got := binary.LittleEndian.Uint32(crcBuf[:]); got != tmp.checksumLocked() {
 		return cr.n, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 	}
+	d.mu.Lock()
 	d.words = words
 	d.index = index
+	d.mu.Unlock()
 	return cr.n, nil
 }
 
-// checksum computes the CRC of the serialized body, matching WriteTo.
-func (d *Dictionary) checksum() uint32 {
+// checksumLocked computes the CRC of the serialized body, matching WriteTo.
+// Caller holds d.mu, or d is a locally constructed dictionary no other
+// goroutine can reach (the ReadFrom verification path).
+func (d *Dictionary) checksumLocked() uint32 {
 	crc := crc32.NewIEEE()
 	var buf [binary.MaxVarintLen64]byte
 	crc.Write([]byte("NTDCDICT"))

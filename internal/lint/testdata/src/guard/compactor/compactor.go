@@ -1,0 +1,96 @@
+// Package compactor exercises guardcheck over the background-worker shape
+// the compaction coordinator uses: one mutex guarding the worker's run
+// counters and error slot, with the lock window opened and closed inside a
+// polling loop rather than held for a whole function.
+package compactor
+
+import "sync"
+
+// Worker mirrors core.Compactor: channels coordinate shutdown, the mutex
+// guards the counters the poll loop and the stats readers share.
+type Worker struct {
+	stop chan struct{}
+	done chan struct{}
+
+	mu      sync.Mutex
+	runs    int    // guarded by mu
+	skipped int    // guarded by mu
+	lastErr error  // guarded by mu
+	stopped bool   // guarded by mu
+	phase   string // guarded by mu
+}
+
+func pollOnce(w *Worker, ran bool, err error) {
+	w.mu.Lock()
+	switch {
+	case err != nil:
+		w.lastErr = err
+	case ran:
+		w.runs++
+	default:
+		w.skipped++
+	}
+	w.mu.Unlock()
+}
+
+func statsRace(w *Worker) (int, int) {
+	w.mu.Lock()
+	runs := w.runs
+	w.mu.Unlock()
+	return runs, w.skipped // want "w.skipped accessed without holding w.mu"
+}
+
+func unguardedError(w *Worker) error {
+	return w.lastErr // want "w.lastErr accessed without holding w.mu"
+}
+
+func stopIdempotent(w *Worker) {
+	w.mu.Lock()
+	already := w.stopped
+	w.stopped = true
+	w.mu.Unlock()
+	if already {
+		return
+	}
+	close(w.stop)
+	<-w.done
+}
+
+func stopLeak(w *Worker) {
+	if w.stopped { // want "w.stopped accessed without holding w.mu"
+		return
+	}
+	w.mu.Lock()
+	w.stopped = true
+	w.mu.Unlock()
+}
+
+func phaseWindow(w *Worker) string {
+	w.mu.Lock()
+	p := w.phase
+	w.mu.Unlock()
+	w.phase = "swap" // want "w.phase accessed without holding w.mu"
+	return p
+}
+
+// runsLocked documents its contract by name: the caller holds w.mu.
+func runsLocked(w *Worker) int {
+	return w.runs
+}
+
+// snapshot is exempt by doc contract: caller holds w.mu for the whole
+// swap protocol.
+func snapshot(w *Worker) (int, int) {
+	return w.runs, w.skipped
+}
+
+func freshWorker() *Worker {
+	w := &Worker{stop: make(chan struct{}), done: make(chan struct{})}
+	w.phase = "idle" // not yet shared: exempt
+	return w
+}
+
+func teardownRead(w *Worker) error {
+	//ntalint:ignore guardcheck fixture: single-owner teardown reads without the lock by design.
+	return w.lastErr
+}

@@ -28,10 +28,10 @@ import (
 //	48   8     redo-log capacity
 //	56   4     build tag: caller-chosen content fingerprint; zero when unused
 //	60   4     crc32 of bytes [0,60)
-//	64   128   16 named root slots (uint64 each)
+//	64   192   24 named root slots (uint64 each)
 const (
-	headerSize = 192
-	rootSlots  = 16
+	headerSize = 256
+	rootSlots  = 24
 
 	// HeaderSize exports the pool-header length for callers that must
 	// respect the header's persistence ordering without parsing it — the
@@ -52,7 +52,7 @@ const (
 	offCRC     = 60
 	offRoots   = 64
 
-	poolVersion = 2
+	poolVersion = 3
 )
 
 var magic = [8]byte{'N', 'T', 'A', 'D', 'O', 'C', 'P', 'M'}

@@ -13,9 +13,10 @@ import (
 type resultCache struct {
 	max int
 
-	mu  sync.Mutex
-	ll  *list.List               // guarded by mu; front = most recent
-	ent map[string]*list.Element // guarded by mu
+	mu    sync.Mutex
+	ll    *list.List               // guarded by mu; front = most recent
+	ent   map[string]*list.Element // guarded by mu
+	bytes int64                    // guarded by mu: sum of cached body sizes
 }
 
 type cacheEntry struct {
@@ -50,14 +51,19 @@ func (c *resultCache) put(key string, body []byte) {
 	defer c.mu.Unlock()
 	if el, ok := c.ent[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).body = body
+		ent := el.Value.(*cacheEntry)
+		c.bytes += int64(len(body)) - int64(len(ent.body))
+		ent.body = body
 		return
 	}
 	c.ent[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	c.bytes += int64(len(body))
 	for c.ll.Len() > c.max {
 		el := c.ll.Back()
 		c.ll.Remove(el)
-		delete(c.ent, el.Value.(*cacheEntry).key)
+		ent := el.Value.(*cacheEntry)
+		delete(c.ent, ent.key)
+		c.bytes -= int64(len(ent.body))
 	}
 }
 
@@ -67,6 +73,7 @@ func (c *resultCache) purge() {
 	defer c.mu.Unlock()
 	c.ll.Init()
 	clear(c.ent)
+	c.bytes = 0
 }
 
 // len reports the number of cached entries.
@@ -74,4 +81,11 @@ func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// size reports the total bytes of cached result bodies.
+func (c *resultCache) size() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -62,13 +63,15 @@ func (c Config) withDefaults() Config {
 // bumps the cache generation — no result computed against the dead primary
 // can be served after recovery.
 type Server struct {
-	cfg  Config
-	eng  *ntadoc.Engine
-	docs []string
+	cfg Config
+	eng *ntadoc.Engine
 
 	pool  *sessionPool
 	cache *resultCache
 	coal  *coalescer
+
+	// appendMu serializes /v1/append admissions; queries never take it.
+	appendMu sync.Mutex
 
 	// gen counts recovery epochs; the cache generation string combines it
 	// with the archive build tag.
@@ -87,14 +90,17 @@ type Server struct {
 	execute func(ctx context.Context, sess *ntadoc.QuerySession, spec ntadoc.BatchSpec) (*ntadoc.BatchResult, error)
 
 	// Serving counters, exported via /metrics.
-	reqOK       atomic.Int64
-	reqErr      atomic.Int64
-	reqShed     atomic.Int64
-	reqCanceled atomic.Int64
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
-	coalesced   atomic.Int64
-	recoveries  atomic.Int64
+	reqOK        atomic.Int64
+	reqErr       atomic.Int64
+	reqShed      atomic.Int64
+	reqCanceled  atomic.Int64
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	coalesced    atomic.Int64
+	recoveries   atomic.Int64
+	appendsOK    atomic.Int64
+	appendsErr   atomic.Int64
+	docsIngested atomic.Int64
 }
 
 // New builds a server over a loaded engine, opening its session pool.
@@ -110,7 +116,6 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:   cfg,
 		eng:   cfg.Engine,
-		docs:  cfg.Engine.DocumentNames(),
 		pool:  pool,
 		cache: newResultCache(cfg.CacheEntries),
 		coal:  newCoalescer(),
@@ -126,17 +131,21 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.handleBatch)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/append", s.handleAppend)
+	mux.HandleFunc("/v1/ingest", s.handleIngest)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/engine", s.handleDebug)
 	return mux
 }
 
-// Generation identifies the archive build and recovery epoch: results and
-// cache keys are scoped to it, and it changes whenever the engine recovers
-// from a failure.
+// Generation identifies the archive build, recovery epoch, and corpus
+// epoch: results and cache keys are scoped to it.  It changes whenever the
+// engine recovers from a failure and whenever an append batch commits or a
+// compaction runs — a committed append is therefore never masked by a
+// cached pre-append result.
 func (s *Server) Generation() string {
-	return fmt.Sprintf("%08x.%d", s.eng.BuildTag(), s.gen.Load())
+	return fmt.Sprintf("%08x.%d.%d", s.eng.BuildTag(), s.gen.Load(), s.eng.CorpusEpoch())
 }
 
 // parseRequest accepts GET query parameters or a POST JSON body.
@@ -215,7 +224,10 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, spec ntadoc.Batch
 		if err != nil {
 			return nil, err
 		}
-		b, err := EncodeResult(res, s.docs)
+		// The name table is re-snapshotted per execution: appends extend
+		// it, and a result computed at epoch N names documents from the
+		// table as of N.
+		b, err := EncodeResult(res, s.eng.DocumentNames())
 		if err != nil {
 			return nil, err
 		}
@@ -308,6 +320,108 @@ func (s *Server) recoverNow() {
 	s.recoveries.Add(1)
 }
 
+// handleAppend admits one append batch: the documents are tokenized and
+// committed durably as a unit, and the response carries the corpus epoch
+// the batch became visible at.  Appends are serialized server-side; they
+// never block in-flight queries (each query finishes on its pinned corpus
+// cut).  A compaction swap in progress maps to 503 + Retry-After, so
+// clients simply retry; a full append log maps to 507 (the corpus must be
+// recompressed).
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.down.Load() {
+		s.appendsErr.Add(1)
+		http.Error(w, "engine down: unrecoverable device failure", http.StatusServiceUnavailable)
+		return
+	}
+	var req AppendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.appendsErr.Add(1)
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Documents) == 0 {
+		s.appendsErr.Add(1)
+		http.Error(w, "no documents", http.StatusBadRequest)
+		return
+	}
+	docs := make([]ntadoc.Document, len(req.Documents))
+	for i, d := range req.Documents {
+		if d.Name == "" {
+			s.appendsErr.Add(1)
+			http.Error(w, fmt.Sprintf("document %d has no name", i), http.StatusBadRequest)
+			return
+		}
+		docs[i] = ntadoc.Document{Name: d.Name, Text: d.Text}
+	}
+	s.appendMu.Lock()
+	err := s.eng.Append(docs)
+	s.appendMu.Unlock()
+	switch {
+	case errors.Is(err, ntadoc.ErrCompacting):
+		s.appendsErr.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "compaction in progress; retry append", http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, ntadoc.ErrIngestFull):
+		s.appendsErr.Add(1)
+		http.Error(w, "append log full; recompress the corpus", http.StatusInsufficientStorage)
+		return
+	case errors.Is(err, ntadoc.ErrNoIngest):
+		s.appendsErr.Add(1)
+		http.Error(w, "engine built without ingestion support", http.StatusNotImplemented)
+		return
+	case err != nil:
+		s.appendsErr.Add(1)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.appendsOK.Add(1)
+	s.docsIngested.Add(int64(len(docs)))
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(AppendResponse{
+		Appended:   len(docs),
+		Epoch:      s.eng.CorpusEpoch(),
+		Generation: s.Generation(),
+	})
+}
+
+// handleIngest reports the live ingestion state — what `ntadoc tail` polls.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.IngestStats()
+	names := s.eng.DocumentNames()
+	info := IngestInfo{
+		Generation:    s.Generation(),
+		Epoch:         s.eng.CorpusEpoch(),
+		Documents:     len(names),
+		Batches:       st.Batches,
+		AppendedDocs:  st.AppendedDocs,
+		LogBytes:      st.LogBytes,
+		LogCapacity:   st.LogCapacity,
+		DeltaDocs:     st.DeltaDocs,
+		DeltaSymbols:  st.DeltaSymbols,
+		CompactedDocs: uint64(st.CompactedDocs),
+		Compactions:   st.Compactions,
+	}
+	if n := len(names); n > 0 {
+		// The tail of the name table lets a follower print newly appended
+		// documents without shipping the whole corpus each poll.
+		tail := n - maxIngestNames
+		if tail < 0 {
+			tail = 0
+		}
+		info.LastDocuments = names[tail:]
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(info)
+}
+
+// maxIngestNames bounds the name tail /v1/ingest returns.
+const maxIngestNames = 32
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.down.Load() {
 		http.Error(w, "down", http.StatusServiceUnavailable)
@@ -345,8 +459,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("ntadoc_sessions_queued %d", s.pool.queued())
 	p("# TYPE ntadoc_cache_entries gauge")
 	p("ntadoc_cache_entries %d", s.cache.len())
+	p("# HELP ntadoc_cache_bytes Total bytes of cached result bodies.")
+	p("# TYPE ntadoc_cache_bytes gauge")
+	p("ntadoc_cache_bytes %d", s.cache.size())
 	p("# TYPE ntadoc_generation_epoch gauge")
 	p("ntadoc_generation_epoch %d", s.gen.Load())
+	p("# HELP ntadoc_corpus_epoch Committed append batches plus compactions.")
+	p("# TYPE ntadoc_corpus_epoch counter")
+	p("ntadoc_corpus_epoch %d", s.eng.CorpusEpoch())
+	p("# TYPE ntadoc_appends_total counter")
+	p(`ntadoc_appends_total{outcome="ok"} %d`, s.appendsOK.Load())
+	p(`ntadoc_appends_total{outcome="error"} %d`, s.appendsErr.Load())
+	p("# TYPE ntadoc_appended_documents_total counter")
+	p("ntadoc_appended_documents_total %d", s.docsIngested.Load())
+
+	ing := s.eng.IngestStats()
+	p("# HELP ntadoc_ingest Live ingestion state summed across shards.")
+	p("# TYPE ntadoc_ingest gauge")
+	p(`ntadoc_ingest{stat="batches"} %d`, ing.Batches)
+	p(`ntadoc_ingest{stat="appended_docs"} %d`, ing.AppendedDocs)
+	p(`ntadoc_ingest{stat="log_bytes"} %d`, ing.LogBytes)
+	p(`ntadoc_ingest{stat="log_capacity"} %d`, ing.LogCapacity)
+	p(`ntadoc_ingest{stat="delta_docs"} %d`, ing.DeltaDocs)
+	p(`ntadoc_ingest{stat="delta_symbols"} %d`, ing.DeltaSymbols)
+	p(`ntadoc_ingest{stat="compacted_docs"} %d`, ing.CompactedDocs)
+	p(`ntadoc_ingest{stat="compactions"} %d`, ing.Compactions)
 
 	init, trav := s.eng.PhaseTimes()
 	p("# HELP ntadoc_phase_modeled_nanos Modeled time of the last task's phases.")
@@ -404,7 +541,7 @@ func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 		BuildTag:   fmt.Sprintf("%08x", s.eng.BuildTag()),
 		Down:       s.down.Load(),
 		Shards:     s.eng.NumShards(),
-		Documents:  s.docs,
+		Documents:  s.eng.DocumentNames(),
 		Strategies: s.eng.ShardStrategies(),
 		Replicas:   s.eng.LiveFollowers(),
 		Failovers:  s.eng.FailoverCount(),

@@ -118,6 +118,45 @@ func EncodeResult(res *ntadoc.BatchResult, docs []string) ([]byte, error) {
 	return json.Marshal(ResultOf(res, docs))
 }
 
+// AppendDocument is one document of an append batch on the wire.
+type AppendDocument struct {
+	Name string `json:"name"`
+	Text string `json:"text"`
+}
+
+// AppendRequest is the body of POST /v1/append: one batch of documents,
+// committed durably as a unit.
+type AppendRequest struct {
+	Documents []AppendDocument `json:"documents"`
+}
+
+// AppendResponse acknowledges a committed append batch.
+type AppendResponse struct {
+	// Appended is the number of documents the batch committed.
+	Appended int `json:"appended"`
+	// Epoch is the corpus epoch the batch became visible at.
+	Epoch uint64 `json:"epoch"`
+	// Generation is the cache generation after the commit.
+	Generation string `json:"generation"`
+}
+
+// IngestInfo is the body of GET /v1/ingest: the live ingestion state the
+// `ntadoc tail` follower polls.
+type IngestInfo struct {
+	Generation    string   `json:"generation"`
+	Epoch         uint64   `json:"epoch"`
+	Documents     int      `json:"documents"`
+	Batches       uint64   `json:"batches"`
+	AppendedDocs  uint64   `json:"appended_docs"`
+	LogBytes      int64    `json:"log_bytes"`
+	LogCapacity   int64    `json:"log_capacity"`
+	DeltaDocs     int      `json:"delta_docs"`
+	DeltaSymbols  int64    `json:"delta_symbols"`
+	CompactedDocs uint64   `json:"compacted_docs"`
+	Compactions   uint64   `json:"compactions"`
+	LastDocuments []string `json:"last_documents,omitempty"`
+}
+
 // Response is the envelope of /v1/query and /v1/batch.
 type Response struct {
 	// Generation identifies the archive build and recovery epoch the result

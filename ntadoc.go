@@ -53,6 +53,14 @@ type Archive struct {
 	d      *dict.Dictionary
 	shards []*cfg.Grammar // nil for an unsharded archive
 	shared *cfg.SharedSet // unified form; nil for unsharded or legacy archives
+
+	// Online ingestion appends documents after compression.  The archive
+	// tracks them separately from the base grammar so WriteTo can serialize
+	// the base unchanged plus a compact delta grammar over just the appended
+	// documents (the NTDCDLT1 container), mirroring how a live engine serves
+	// base + delta without recompressing.
+	deltaTokens [][]uint32 // appended documents' token streams, in append order
+	deltaNames  []string   // appended documents' display names
 }
 
 // Compress builds an archive from documents.  Tokenization lowercases and
@@ -152,6 +160,45 @@ func (a *Archive) NumShards() int {
 	return len(a.shards)
 }
 
+// AppendedDocuments returns how many documents have been appended to the
+// archive since its base was compressed (and not yet folded into it).
+func (a *Archive) AppendedDocuments() int { return len(a.deltaTokens) }
+
+// recordAppend tracks appended documents so WriteTo can serialize them as a
+// delta over the unchanged base.  Called by Engine.Append under its append
+// lock; tokens are already interned in the archive's dictionary.
+func (a *Archive) recordAppend(tokens [][]uint32, names []string) {
+	a.deltaTokens = append(a.deltaTokens, tokens...)
+	a.deltaNames = append(a.deltaNames, names...)
+}
+
+// fold folds pending appended documents into the whole-corpus grammar — an
+// offline compaction.  The sharded forms are dropped when a delta folds:
+// the folded corpus no longer matches the per-shard images, and recovering
+// cross-shard redundancy requires recompressing.  No-op without a delta.
+func (a *Archive) fold() error {
+	if len(a.deltaTokens) == 0 {
+		return nil
+	}
+	dg, err := sequitur.Infer(a.deltaTokens, uint32(a.d.Len()))
+	if err != nil {
+		return fmt.Errorf("ntadoc: fold delta: %w", err)
+	}
+	dg.Files = a.deltaNames
+	if a.g.Files == nil {
+		// MergeDelta synthesizes names for an unnamed base; pin the base's
+		// default names so the folded corpus keeps DocumentNames stable.
+		a.g.Files = a.DocumentNames()
+	}
+	merged, err := cfg.MergeDelta(a.g, dg)
+	if err != nil {
+		return fmt.Errorf("ntadoc: fold delta: %w", err)
+	}
+	a.g, a.shards, a.shared = merged, nil, nil
+	a.deltaTokens, a.deltaNames = nil, nil
+	return nil
+}
+
 // Dictionary wraps the word <-> ID mapping for use with CompressTokens.
 type Dictionary struct{ d *dict.Dictionary }
 
@@ -227,17 +274,28 @@ func (a *Archive) Decompress() []Document {
 // shared rule table plus a root per shard) when the archive carries one, or
 // the legacy per-shard container otherwise; an unsharded archive's is a
 // single grammar, byte-compatible with earlier versions.
+//
+// An archive with appended documents serializes as a delta container: the
+// base section byte-for-byte unchanged, plus a compact grammar inferred over
+// just the appended documents — no recompression of the base.  ReadArchive
+// folds the delta back in (an offline compaction), so a load/store cycle
+// compacts the archive.
 func (a *Archive) WriteTo(w io.Writer) (int64, error) {
 	var gbuf bytes.Buffer
-	if a.shared != nil {
-		if _, err := cfg.WriteSharedSet(&gbuf, a.shared); err != nil {
+	if len(a.deltaTokens) > 0 {
+		var base bytes.Buffer
+		if err := a.writeBaseSection(&base); err != nil {
 			return 0, err
 		}
-	} else if a.shards != nil {
-		if _, err := cfg.WriteShards(&gbuf, a.shards); err != nil {
+		dg, err := sequitur.Infer(a.deltaTokens, uint32(a.d.Len()))
+		if err != nil {
+			return 0, fmt.Errorf("ntadoc: delta section: %w", err)
+		}
+		dg.Files = a.deltaNames
+		if _, err := cfg.WriteDeltaContainer(&gbuf, base.Bytes(), dg); err != nil {
 			return 0, err
 		}
-	} else if _, err := a.g.WriteTo(&gbuf); err != nil {
+	} else if err := a.writeBaseSection(&gbuf); err != nil {
 		return 0, err
 	}
 	var hdr [8]byte
@@ -252,6 +310,22 @@ func (a *Archive) WriteTo(w io.Writer) (int64, error) {
 	}
 	m, err := a.d.WriteTo(w)
 	return n + m, err
+}
+
+// writeBaseSection writes the base grammar section in its richest available
+// form: shared-table container, legacy shard container, or single grammar.
+func (a *Archive) writeBaseSection(w io.Writer) error {
+	switch {
+	case a.shared != nil:
+		_, err := cfg.WriteSharedSet(w, a.shared)
+		return err
+	case a.shards != nil:
+		_, err := cfg.WriteShards(w, a.shards)
+		return err
+	default:
+		_, err := a.g.WriteTo(w)
+		return err
+	}
 }
 
 // ReadArchive loads an archive written by WriteTo, validating both parts.
@@ -279,35 +353,27 @@ func ReadArchive(r io.Reader) (*Archive, error) {
 		shared *cfg.SharedSet
 		err    error
 	)
-	switch {
-	case cfg.IsSharedContainer(peek[:]):
-		shared, err = cfg.ReadSharedSet(section)
+	if cfg.IsDeltaContainer(peek[:]) {
+		// A delta archive: parse the embedded base section, then fold the
+		// delta grammar into the whole-corpus form — an offline compaction.
+		// The base's sharded forms are dropped: the folded corpus no longer
+		// matches the per-shard images.
+		baseBytes, delta, derr := cfg.ReadDeltaContainer(section)
+		if derr != nil {
+			return nil, derr
+		}
+		if len(baseBytes) < 8 {
+			return nil, fmt.Errorf("ntadoc: delta container base section too short (%d bytes)", len(baseBytes))
+		}
+		g, _, _, err = readGrammarSection(baseBytes[:8], bytes.NewReader(baseBytes))
 		if err != nil {
 			return nil, err
 		}
-		shards, err = shared.Materialize()
-		if err != nil {
+		if g, err = cfg.MergeDelta(g, delta); err != nil {
 			return nil, err
 		}
-		if len(shards) == 1 {
-			g, shards, shared = shards[0], nil, nil
-		} else if g, err = cfg.ConcatShards(shards); err != nil {
-			return nil, err
-		}
-	case cfg.IsShardContainer(peek[:]):
-		shards, err = cfg.ReadShards(section)
-		if err != nil {
-			return nil, err
-		}
-		if len(shards) == 1 {
-			g, shards = shards[0], nil
-		} else if g, err = cfg.ConcatShards(shards); err != nil {
-			return nil, err
-		}
-	default:
-		if g, err = cfg.ReadGrammar(section); err != nil {
-			return nil, err
-		}
+	} else if g, shards, shared, err = readGrammarSection(peek[:], section); err != nil {
+		return nil, err
 	}
 	d := dict.New()
 	if _, err := d.ReadFrom(r); err != nil {
@@ -317,6 +383,43 @@ func ReadArchive(r io.Reader) (*Archive, error) {
 		return nil, fmt.Errorf("ntadoc: dictionary (%d words) smaller than grammar vocabulary (%d)", d.Len(), g.NumWords)
 	}
 	return &Archive{g: g, d: d, shards: shards, shared: shared}, nil
+}
+
+// readGrammarSection parses one grammar section, dispatching on its leading
+// magic: shared-table container, legacy shard container, or single grammar.
+// section must include the peeked bytes.
+func readGrammarSection(peek []byte, section io.Reader) (g *cfg.Grammar, shards []*cfg.Grammar, shared *cfg.SharedSet, err error) {
+	switch {
+	case cfg.IsSharedContainer(peek):
+		shared, err = cfg.ReadSharedSet(section)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		shards, err = shared.Materialize()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if len(shards) == 1 {
+			g, shards, shared = shards[0], nil, nil
+		} else if g, err = cfg.ConcatShards(shards); err != nil {
+			return nil, nil, nil, err
+		}
+	case cfg.IsShardContainer(peek):
+		shards, err = cfg.ReadShards(section)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if len(shards) == 1 {
+			g, shards = shards[0], nil
+		} else if g, err = cfg.ConcatShards(shards); err != nil {
+			return nil, nil, nil, err
+		}
+	default:
+		if g, err = cfg.ReadGrammar(section); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return g, shards, shared, nil
 }
 
 // WriteDOT renders the archive's grammar DAG in Graphviz DOT format, with

@@ -79,9 +79,19 @@ func IsDeviceFailure(err error) bool {
 }
 
 // DocumentNames returns the archive's document names in corpus order —
-// the index space of per-document results like term vectors.
+// the index space of per-document results like term vectors.  The snapshot
+// includes documents appended so far.
 func (e *Engine) DocumentNames() []string {
-	return append([]string(nil), e.names...)
+	return append([]string(nil), e.docNames()...)
+}
+
+// docNames returns a point-in-time snapshot of the name table.  Name IDs
+// are stable — appends only extend the table — so a snapshot's prefix stays
+// valid while new documents land.
+func (e *Engine) docNames() []string {
+	e.namesMu.RLock()
+	defer e.namesMu.RUnlock()
+	return e.names
 }
 
 // BuildTag returns the archive's build tag: the shared rule table's
